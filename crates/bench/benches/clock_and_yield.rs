@@ -1,0 +1,38 @@
+//! Criterion bench: clock-forwarding wavefront (Fig. 4 engine) and
+//! Monte-Carlo wafer assembly (Fig. 5 engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsp_assembly::{BondingModel, RedundancyScheme};
+use wsp_clock::ForwardingSim;
+use wsp_common::seeded_rng;
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+fn bench_clock_forwarding(c: &mut Criterion) {
+    let array = TileArray::new(32, 32);
+    let mut rng = seeded_rng(5);
+    let faults = FaultMap::sample_uniform(array, 10, &mut rng);
+    c.bench_function("clock_forwarding_32x32", |b| {
+        b.iter(|| {
+            black_box(
+                ForwardingSim::new(faults.clone())
+                    .run([TileCoord::new(0, 0)])
+                    .expect("setup"),
+            )
+        })
+    });
+}
+
+fn bench_wafer_assembly(c: &mut Criterion) {
+    let array = TileArray::new(32, 32);
+    let model = BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar);
+    c.bench_function("wafer_assembly_mc", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(6);
+            black_box(model.assemble_wafer(array, &mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_clock_forwarding, bench_wafer_assembly);
+criterion_main!(benches);

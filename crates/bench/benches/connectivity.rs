@@ -1,0 +1,26 @@
+//! Criterion bench: Fig. 6 connectivity analysis (prefix-sum oracle over
+//! all ~1M ordered pairs of the 32x32 wafer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_common::seeded_rng;
+use wsp_noc::connectivity::{disconnected_fraction, RoutingScheme};
+use wsp_topo::{FaultMap, TileArray};
+
+fn bench_connectivity(c: &mut Criterion) {
+    let array = TileArray::new(32, 32);
+    let mut rng = seeded_rng(9);
+    let faults = FaultMap::sample_uniform(array, 5, &mut rng);
+    let mut group = c.benchmark_group("disconnected_fraction");
+    for scheme in [RoutingScheme::SingleXy, RoutingScheme::DualXyYx] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{scheme}")),
+            &scheme,
+            |b, &scheme| b.iter(|| black_box(disconnected_fraction(&faults, scheme))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: cycle-level NoC simulation throughput (Fig. 7 engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_common::seeded_rng;
+use wsp_noc::{NocSim, SimConfig, TrafficPattern};
+use wsp_topo::{FaultMap, TileArray};
+
+fn bench_noc_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_sim_200_cycles");
+    group.sample_size(20);
+    for n in [8u16, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = seeded_rng(3);
+                let mut sim = NocSim::new(FaultMap::none(TileArray::new(n, n)), SimConfig::default());
+                black_box(sim.run(TrafficPattern::UniformRandom, 200, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc_sim);
+criterion_main!(benches);

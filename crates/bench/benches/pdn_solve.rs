@@ -1,0 +1,28 @@
+//! Criterion bench: PDN grid solve cost vs wafer size (Fig. 2 engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_pdn::PdnConfig;
+use wsp_topo::TileArray;
+
+fn bench_pdn_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdn_solve");
+    for n in [8u16, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = PdnConfig::paper_prototype();
+            let cfg = PdnConfig::new(
+                TileArray::new(n, n),
+                PdnConfig::PAPER_SUPPLY,
+                PdnConfig::PAPER_LOOP_SHEET_RESISTANCE,
+                wsp_common::units::Ohms::from_milliohms(1.0),
+                cfg.load(),
+                [true; 4],
+            );
+            b.iter(|| black_box(cfg.solve().expect("converges")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdn_solve);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: full-wafer substrate routing (Sec. VIII engine) —
+//! the task that "explodes" in commercial tools finishes in milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsp_route::{LayerMode, RouterConfig, WaferNetlist};
+use wsp_topo::TileArray;
+
+fn bench_route(c: &mut Criterion) {
+    let array = TileArray::new(32, 32);
+    let netlist = WaferNetlist::generate(array);
+    let mut group = c.benchmark_group("route_full_wafer");
+    for mode in [LayerMode::DualLayer, LayerMode::SingleLayer] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                let config = RouterConfig::paper_config(array, mode);
+                b.iter(|| black_box(config.route(&netlist).expect("routes")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_route);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench: tile functional simulation (14 cores + crossbar +
+//! banks) and the distributed BFS engine (Sec. II validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use waferscale::workload::{run_bfs, Graph, GraphKind};
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_common::seeded_rng;
+use wsp_tile::isa::{Program, Reg};
+use wsp_tile::Tile;
+use wsp_topo::{FaultMap, TileArray};
+
+fn bench_tile_exec(c: &mut Criterion) {
+    // Every core runs a 1000-iteration arithmetic loop.
+    let program = Program::builder()
+        .ldi(Reg::R1, 0)
+        .ldi(Reg::R2, 1000)
+        .ldi(Reg::R0, 0)
+        .label("loop")
+        .add(Reg::R1, Reg::R1, Reg::R2)
+        .addi(Reg::R2, Reg::R2, -1)
+        .bne(Reg::R2, Reg::R0, "loop")
+        .halt()
+        .build()
+        .expect("builds");
+    c.bench_function("tile_14_cores_1k_loop", |b| {
+        b.iter(|| {
+            let mut tile = Tile::new();
+            tile.broadcast_program(&program);
+            black_box(tile.run_until_halt(100_000).expect("halts"))
+        })
+    });
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut rng = seeded_rng(8);
+    let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 8 }, 5000, &mut rng);
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+    c.bench_function("distributed_bfs_5k_vertices", |b| {
+        b.iter(|| black_box(run_bfs(&system, &graph, 0).expect("runs")))
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    use waferscale::MultiTileMachine;
+    use wsp_topo::TileCoord;
+    // The unified-memory worker pool from the examples, as a benchmark.
+    let cfg = SystemConfig::with_array(TileArray::new(4, 4));
+    let counter_tile = TileCoord::new(0, 0);
+    c.bench_function("machine_worker_pool_16_tiles", |b| {
+        b.iter(|| {
+            let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+            let counter = m.global_address(counter_tile, 0).expect("ok");
+            let program = wsp_tile::isa::Program::builder()
+                .ldi(Reg::R1, counter)
+                .ldi(Reg::R2, 1)
+                .ldi(Reg::R3, 20)
+                .ldi(Reg::R0, 0)
+                .label("loop")
+                .amo_add(Reg::R4, Reg::R1, Reg::R2)
+                .addi(Reg::R3, Reg::R3, -1)
+                .bne(Reg::R3, Reg::R0, "loop")
+                .halt()
+                .build()
+                .expect("builds");
+            for tile in cfg.array().tiles() {
+                for core in 0..cfg.cores_per_tile() {
+                    m.load_program(tile, core, &program).expect("ok");
+                }
+            }
+            black_box(m.run_until_halt(10_000_000).expect("halts"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tile_exec, bench_bfs, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates **Figs. 9-10** behaviour: the intra-tile DAP chain with
+//! broadcast mode and the progressive multi-chiplet chain unrolling that
+//! localises faulty chiplets.
+//!
+//! Run with `cargo run -p wsp-bench --bin fig10_unroll`.
+
+use rand::RngExt as _;
+use wsp_bench::{header, result_line, row};
+use wsp_common::seeded_rng;
+use wsp_dft::{DapChain, ProgressiveUnroll, ShiftMode};
+
+fn main() {
+    header("Fig. 9", "intra-tile DAP daisy chain and broadcast mode");
+    result_line(
+        "TCKs to load a 1 KB image into all 14 cores (serial)",
+        DapChain::tcks_to_load_all(14, 8192, ShiftMode::Serial),
+        None,
+    );
+    result_line(
+        "TCKs in broadcast mode",
+        DapChain::tcks_to_load_all(14, 8192, ShiftMode::Broadcast),
+        Some("14x fewer — \"the JTAG bit shifting latency reduces by 14x\""),
+    );
+
+    header("Fig. 10", "progressive unrolling localises the faulty chiplet");
+    let unroll = ProgressiveUnroll::new(32, 32);
+    let outcome = unroll.run(|pos| pos != 20);
+    result_line("chain length", unroll.chain_len(), Some("32 tiles per row"));
+    result_line(
+        "verified good before failure",
+        outcome.verified_good(),
+        None,
+    );
+    result_line(
+        "faulty chiplet localised at position",
+        format!("{:?}", outcome.first_faulty()),
+        Some("exact position identified as the chain unrolls"),
+    );
+    result_line("total TCKs spent", outcome.total_tcks(), None);
+
+    header(
+        "Fig. 10 MC",
+        "localisation over random single-fault rows (1000 trials)",
+    );
+    let mut rng = seeded_rng(77);
+    let mut exact = 0;
+    for _ in 0..1000 {
+        let fault_at = rng.random_range(0..32usize);
+        let outcome = ProgressiveUnroll::new(32, 32).run(|pos| pos != fault_at);
+        if outcome.first_faulty() == Some(fault_at) {
+            exact += 1;
+        }
+    }
+    result_line("exact localisations", format!("{exact}/1000"), Some("100%"));
+
+    header(
+        "Sec. VII-B",
+        "during-assembly testing: catch bad bonds early",
+    );
+    row(&["bonded so far", "bond fault at", "caught at step", "KGD dies saved"]);
+    for (bonded, fault) in [(8usize, 5usize), (16, 5), (24, 20), (32, 20)] {
+        let outcome = ProgressiveUnroll::new(32, 32).run_partial(bonded, |pos| pos != fault);
+        let caught = outcome.first_faulty();
+        let saved = match caught {
+            Some(_) => 32 - bonded,
+            None => 0,
+        };
+        row(&[
+            format!("{bonded}"),
+            format!("{fault}"),
+            format!("{caught:?}"),
+            format!("{saved}"),
+        ]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Regenerates **Fig. 5 / Sec. V** (fine-pitch I/O architecture and the
+//! two-pillars-per-pad bonding-yield argument) and the Fig. 8 probe-pad
+//! check.
+//!
+//! Run with `cargo run -p wsp-bench --bin fig5_yield`.
+
+use wsp_assembly::{
+    compare_approaches, BondingModel, ChipletKind, DefectModel, IoCell, PadFrame,
+    RedundancyScheme,
+};
+use wsp_common::units::SquareMillimeters;
+use wsp_bench::{header, result_line, row};
+use wsp_common::seeded_rng;
+use wsp_common::units::{Hertz, Micrometers};
+use wsp_topo::TileArray;
+
+fn main() {
+    header("Sec. V", "I/O cell properties");
+    let cell = IoCell::paper_cell();
+    result_line("I/O cell area", format!("{} um^2", cell.area_um2()), Some("~150 um^2"));
+    result_line(
+        "energy per bit",
+        format!("{:.3} pJ", cell.energy_per_bit().as_picojoules()),
+        Some("0.063 pJ/bit"),
+    );
+    result_line(
+        "signalling rate",
+        format!("{:.0} MHz", cell.max_frequency().as_megahertz()),
+        Some("1 GHz"),
+    );
+    result_line(
+        "max link length",
+        format!("{:.0}", cell.max_link_length()),
+        Some("500 um"),
+    );
+    result_line("ESD rating", format!("{:.0}", cell.esd_rating()), Some("100 V HBM"));
+    let frame = PadFrame::paper(ChipletKind::Compute);
+    result_line(
+        "total I/O area (compute chiplet)",
+        format!("{:.2}", frame.total_io_area(&cell)),
+        Some("0.4 mm^2"),
+    );
+    result_line(
+        "edge wire density (2 layers @ 5um)",
+        format!(
+            "{:.0} wires/mm",
+            PadFrame::edge_wire_density(PadFrame::PAPER_WIRING_PITCH, 2)
+        ),
+        Some("400 wires/mm"),
+    );
+    result_line(
+        "1 GHz supported",
+        cell.supports_frequency(Hertz::from_megahertz(1000.0)),
+        None,
+    );
+    result_line(
+        "cell fits under double pad (10x20 um)",
+        cell.fits_under_pad(Micrometers(10.0), Micrometers(20.0)),
+        None,
+    );
+
+    header(
+        "Fig. 5",
+        "bonding yield: 1 vs 2 copper pillars per I/O pad (closed form)",
+    );
+    row(&[
+        "scheme",
+        "pad yield",
+        "chiplet yield (2020 I/O)",
+        "E[faulty chiplets]/2048",
+    ]);
+    for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {
+        let m = BondingModel::paper_compute_chiplet(scheme);
+        row(&[
+            scheme.to_string(),
+            format!("{:.6}%", m.pad_yield() * 100.0),
+            format!("{:.3}%", m.chiplet_yield() * 100.0),
+            format!("{:.1}", m.expected_faulty_chiplets(2048)),
+        ]);
+    }
+    result_line(
+        "paper claim",
+        "81.46% -> 99.998%, ~380 -> ~1 faulty chiplets",
+        None,
+    );
+
+    header("Fig. 5 MC", "Monte-Carlo wafer assembly (1024 tiles, 50 wafers)");
+    row(&["scheme", "mean faulty tiles/wafer", "closed form"]);
+    let array = TileArray::new(32, 32);
+    for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {
+        let model = BondingModel::paper_compute_chiplet(scheme);
+        let mut rng = seeded_rng(55);
+        let total: usize = (0..50)
+            .map(|_| model.assemble_wafer(array, &mut rng).faulty_count())
+            .sum();
+        row(&[
+            scheme.to_string(),
+            format!("{:.2}", total as f64 / 50.0),
+            format!("{:.2}", model.expected_faulty_chiplets(1024)),
+        ]);
+    }
+
+    header(
+        "Sec. I",
+        "why chiplets at all: yield economics vs a monolithic waferscale die",
+    );
+    let cmp = compare_approaches(
+        1024,
+        SquareMillimeters(11.0),
+        DefectModel::mature_40nm(),
+        &BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar),
+        5,
+    );
+    result_line(
+        "chiplet die yield (11 mm^2 at 0.25 D/cm^2)",
+        format!("{:.2}%", cmp.chiplet_die_yield * 100.0),
+        None,
+    );
+    result_line(
+        "chiplet system yield (<=5 dead tiles tolerated)",
+        format!("{:.3}%", cmp.chiplet_system_yield * 100.0),
+        None,
+    );
+    result_line(
+        "monolithic yield with no redundancy",
+        format!("{:.2e}", cmp.monolithic_raw_yield),
+        Some("\"redundant cores and network links need to be reserved\""),
+    );
+    result_line(
+        "monolithic redundancy to match the chiplet yield",
+        format!("{:.1}%", cmp.monolithic_redundancy_needed * 100.0),
+        None,
+    );
+
+    header("Fig. 8", "probe pads for pre-bond testing");
+    for kind in [ChipletKind::Compute, ChipletKind::Memory] {
+        let frame = PadFrame::paper(kind);
+        result_line(
+            &format!("{kind}"),
+            format!(
+                "{} fine-pitch pads (10 um, not probeable) + {} probe pads ({:.0} pitch, probeable: {})",
+                frame.total_pads(),
+                frame.probe_pad_count(),
+                frame.probe_pitch(),
+                frame.is_probeable()
+            ),
+            None,
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Fig. 6**: average percentage of disconnected
+//! source-destination pairs versus the number of faulty chiplets, for a
+//! single dimension-ordered network versus the paper's two independent
+//! networks. Trials run in parallel across worker threads (one per fault
+//! count) via crossbeam scoped threads.
+//!
+//! Run with `cargo run --release -p wsp-bench --bin fig6_disconnect`.
+
+use wsp_bench::{header, result_line, row};
+use wsp_noc::ConnectivitySweep;
+
+fn main() {
+    let trials = 200;
+    let sweep = ConnectivitySweep::paper_sweep(trials);
+    let fault_counts: Vec<usize> = (0..=10).collect();
+
+    header(
+        "Fig. 6",
+        "avg % disconnected src-dst pairs vs # faulty chiplets (32x32)",
+    );
+    println!("  ({trials} random fault maps per point)");
+    row(&["faulty chiplets", "single DoR %", "dual DoR %", "improvement"]);
+
+    // One worker per fault count; run_point is deterministic per
+    // (seed, point) so the parallel sweep reproduces a serial one.
+    let mut points = vec![None; fault_counts.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &count in &fault_counts {
+            let sweep = &sweep;
+            handles.push((count, scope.spawn(move |_| sweep.run_point(count, 42))));
+        }
+        for (i, (_, handle)) in handles.into_iter().enumerate() {
+            points[i] = Some(handle.join().expect("worker completes"));
+        }
+    })
+    .expect("scope completes");
+
+    for point in points.into_iter().flatten() {
+        let improvement = if point.dual_network > 0.0 {
+            format!("{:.1}x", point.single_network / point.dual_network)
+        } else {
+            "-".to_string()
+        };
+        row(&[
+            format!("{}", point.faulty_chiplets),
+            format!("{:.2}", point.single_network * 100.0),
+            format!("{:.2}", point.dual_network * 100.0),
+            improvement,
+        ]);
+    }
+
+    result_line(
+        "paper claim at 5 faults",
+        ">12% single vs <2% dual",
+        Some("Fig. 6 / Sec. VI"),
+    );
+
+    header(
+        "Sec. VI future work",
+        "odd-even adaptive routing (ref. [18]) vs dual DoR residuals (16x16)",
+    );
+    row(&["faulty chiplets", "dual DoR %", "odd-even adaptive %"]);
+    let array = wsp_topo::TileArray::new(16, 16);
+    let mut rng = wsp_common::seeded_rng(13);
+    for count in [2usize, 5, 10, 15] {
+        let mut dual = 0.0;
+        let mut oe = 0.0;
+        let trials = 10;
+        for _ in 0..trials {
+            let faults = wsp_topo::FaultMap::sample_uniform(array, count, &mut rng);
+            dual += wsp_noc::disconnected_fraction(
+                &faults,
+                wsp_noc::RoutingScheme::DualXyYx,
+            );
+            oe += wsp_noc::odd_even_disconnected_fraction(&faults, 64);
+        }
+        row(&[
+            format!("{count}"),
+            format!("{:.2}", dual / trials as f64 * 100.0),
+            format!("{:.3}", oe / trials as f64 * 100.0),
+        ]);
+    }
+}

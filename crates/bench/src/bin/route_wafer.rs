@@ -1,0 +1,84 @@
+//! Regenerates the **Sec. VIII** substrate-routing experiment: the
+//! lightweight jog-free router over the full 32x32 wafer, in dual-layer
+//! and degraded single-layer modes, with independent DRC.
+//!
+//! Run with `cargo run --release -p wsp-bench --bin route_wafer`.
+
+use std::time::Instant;
+
+use wsp_bench::{header, result_line, row};
+use wsp_route::{check_route, LayerMode, RouterConfig, WaferNetlist};
+use wsp_topo::TileArray;
+
+fn main() {
+    let array = TileArray::new(32, 32);
+    let netlist = WaferNetlist::generate(array);
+
+    header("Sec. VIII", "waferscale substrate routing (32x32 wafer)");
+    result_line("nets to route", netlist.nets().len(), None);
+    result_line(
+        "total wires",
+        format!("{:.2} M", netlist.total_wires() as f64 / 1e6),
+        None,
+    );
+
+    row(&[
+        "mode",
+        "routed",
+        "failed",
+        "dropped",
+        "wirelength",
+        "fat wires",
+        "DRC",
+        "runtime",
+    ]);
+    for mode in [LayerMode::DualLayer, LayerMode::SingleLayer] {
+        let config = RouterConfig::paper_config(array, mode);
+        let start = Instant::now();
+        let report = config.route(&netlist).expect("same array");
+        let elapsed = start.elapsed();
+        let violations = check_route(&report, &config);
+        row(&[
+            format!("{mode:?}"),
+            format!("{}", report.routed().len()),
+            format!("{}", report.failed_nets()),
+            format!("{}", report.dropped().len()),
+            format!("{:.1} m", report.total_wirelength_m()),
+            format!("{}", report.fat_wires()),
+            format!("{}", if violations.is_empty() { "clean" } else { "VIOLATIONS" }),
+            format!("{:.1} ms", elapsed.as_secs_f64() * 1e3),
+        ]);
+        if mode == LayerMode::SingleLayer {
+            result_line(
+                "memory capacity lost in single-layer mode",
+                format!("{:.0}%", report.memory_capacity_loss() * 100.0),
+                Some("\"reduction of the shared memory capacity by 60%\""),
+            );
+        }
+    }
+
+    header("Sec. VIII", "peak track utilisation (dual layer)");
+    let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
+    let report = config.route(&netlist).expect("routes");
+    row(&["layer", "peak tracks used", "capacity", "utilisation"]);
+    for (layer, used, cap) in report.peak_utilization(&config) {
+        row(&[
+            layer.to_string(),
+            format!("{used}"),
+            format!("{cap}"),
+            format!("{:.0}%", f64::from(used) / f64::from(cap) * 100.0),
+        ]);
+    }
+
+    header(
+        "Sec. VIII ablation",
+        "overloaded channels are reported, not hidden (shrunken capacity)",
+    );
+    row(&["vertical tracks/layer", "failed nets"]);
+    for tracks in [480u32, 440, 410, 405, 300] {
+        let config =
+            RouterConfig::paper_config(array, LayerMode::DualLayer).with_vertical_tracks(tracks);
+        let report = config.route(&netlist).expect("routes");
+        row(&[format!("{tracks}"), format!("{}", report.failed_nets())]);
+    }
+}

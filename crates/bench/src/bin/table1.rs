@@ -1,0 +1,86 @@
+//! Regenerates **Table I** (salient features of the waferscale processor
+//! system) from the derived system configuration.
+//!
+//! Run with `cargo run -p wsp-bench --bin table1`.
+
+use waferscale::SystemConfig;
+use wsp_assembly::ChipletKind;
+use wsp_bench::{header, result_line};
+
+fn main() {
+    let cfg = SystemConfig::paper_prototype();
+
+    header("Table I", "salient features of the waferscale processor system");
+    result_line("# compute chiplets", cfg.compute_chiplets(), Some("1024"));
+    result_line("# memory chiplets", cfg.memory_chiplets(), Some("1024"));
+    result_line("# cores per tile", cfg.cores_per_tile(), Some("14"));
+    result_line("total # cores", cfg.total_cores(), Some("14336"));
+    result_line(
+        "compute chiplet size",
+        "3.15mm x 2.40mm",
+        Some("3.15mm x 2.4mm"),
+    );
+    result_line(
+        "memory chiplet size",
+        "3.15mm x 1.10mm",
+        Some("3.15mm x 1.1mm"),
+    );
+    result_line(
+        "network bandwidth",
+        format!("{:.2} TB/s", cfg.network_bandwidth() / 1e12),
+        Some("9.83 TBps"),
+    );
+    result_line(
+        "private memory per core",
+        format!("{} KB", cfg.private_memory_per_core() / 1024),
+        Some("64KB"),
+    );
+    result_line(
+        "total shared memory",
+        format!("{} MB", cfg.total_shared_memory() / (1024 * 1024)),
+        Some("512 MB"),
+    );
+    result_line(
+        "compute throughput",
+        format!("{:.2} TOPS", cfg.compute_throughput_tops()),
+        Some("4.3 TOPS"),
+    );
+    result_line(
+        "shared memory bandwidth",
+        format!("{:.3} TB/s", cfg.shared_memory_bandwidth() / 1e12),
+        Some("6.144 TB/s"),
+    );
+    result_line(
+        "# I/Os per chiplet",
+        format!(
+            "{} (compute) / {} (memory)",
+            cfg.ios_per_chiplet(ChipletKind::Compute),
+            cfg.ios_per_chiplet(ChipletKind::Memory)
+        ),
+        Some("2020(C)/1250(M)"),
+    );
+    result_line(
+        "total area (w/ edge I/Os)",
+        format!("{:.0} mm^2", cfg.total_area().value()),
+        Some("15100 mm2"),
+    );
+    result_line(
+        "nominal freq/voltage",
+        format!(
+            "{:.0} MHz / {:.1} V",
+            cfg.frequency().as_megahertz(),
+            cfg.core_voltage().value()
+        ),
+        Some("300 MHz/1.1V"),
+    );
+    result_line(
+        "total peak power",
+        format!("{:.0} W", cfg.total_peak_power().value()),
+        Some("725W"),
+    );
+    result_line(
+        "total inter-chip I/Os",
+        format!("{:.2} M", cfg.total_ios() as f64 / 1e6),
+        Some("3.7M+ (Sec. VII-B)"),
+    );
+}

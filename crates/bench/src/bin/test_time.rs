@@ -1,0 +1,70 @@
+//! Regenerates the **Sec. VII-B** test/load-time table: single chain vs
+//! 32 row chains, with and without intra-tile DAP broadcast.
+//!
+//! Run with `cargo run -p wsp-bench --bin test_time`.
+
+use wsp_bench::{header, result_line, row};
+use wsp_common::units::Hertz;
+use wsp_dft::TestSchedule;
+
+fn main() {
+    let bytes = TestSchedule::PAPER_TOTAL_LOAD_BYTES;
+
+    header(
+        "Sec. VII-B",
+        "whole-wafer memory load time vs chain configuration",
+    );
+    result_line(
+        "data loaded",
+        format!("{} MB (512 MB shared + 896 MB private)", bytes / (1024 * 1024)),
+        None,
+    );
+    row(&["chains", "TCK", "load time", "speedup"]);
+    let single = TestSchedule::single_chain();
+    for chains in [1u32, 2, 4, 8, 16, 32] {
+        let schedule = TestSchedule::new(chains, TestSchedule::PAPER_TCK, false);
+        let t = schedule.memory_load_time(bytes);
+        let human = if t.as_hours() >= 1.0 {
+            format!("{:.2} h", t.as_hours())
+        } else {
+            format!("{:.1} min", t.as_minutes())
+        };
+        row(&[
+            format!("{chains}"),
+            "10 MHz".to_string(),
+            human,
+            format!("{:.0}x", schedule.speedup_over(&single, bytes)),
+        ]);
+    }
+    result_line(
+        "paper claim",
+        "2.5 hours (single chain) -> roughly under 5 minutes (32 chains)",
+        None,
+    );
+
+    header(
+        "Sec. VII",
+        "SPMD program image load (16 KB kernel to every core, 32-tile row)",
+    );
+    row(&["mode", "time per row"]);
+    for (name, schedule) in [
+        ("serial (14 images/tile)", TestSchedule::paper_multichain()),
+        (
+            "broadcast (1 image/tile)",
+            TestSchedule::paper_multichain().with_broadcast(),
+        ),
+    ] {
+        let t = schedule.program_broadcast_time(16 * 1024, 32);
+        row(&[name.to_string(), format!("{:.2} s", t.value())]);
+    }
+
+    header("Sec. VII-B", "TCK sensitivity (32 chains)");
+    row(&["TCK (MHz)", "load time (min)"]);
+    for mhz in [1.0, 2.0, 5.0, 10.0] {
+        let schedule = TestSchedule::new(32, Hertz::from_megahertz(mhz), false);
+        row(&[
+            format!("{mhz}"),
+            format!("{:.1}", schedule.memory_load_time(bytes).as_minutes()),
+        ]);
+    }
+}

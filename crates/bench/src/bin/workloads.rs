@@ -1,0 +1,131 @@
+//! Regenerates the **Sec. II** system validation: BFS and SSSP on
+//! reduced-size multi-tile systems (the paper's FPGA-emulation
+//! experiments), with scaling across tile counts and fault injection.
+//!
+//! Run with `cargo run --release -p wsp-bench --bin workloads`.
+
+use waferscale::workload::{
+    reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind,
+    StencilGrid,
+};
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_bench::{header, result_line, row};
+use wsp_common::seeded_rng;
+use wsp_topo::{FaultMap, TileArray};
+
+fn main() {
+    let mut rng = seeded_rng(1234);
+    let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 16 }, 20_000, &mut rng);
+
+    header(
+        "Sec. II",
+        "BFS scaling across system sizes (20k vertices, 320k edges)",
+    );
+    row(&["system", "cores", "cycles", "MTEPS", "remote msgs", "correct"]);
+    for n in [2u16, 4, 8, 16] {
+        let cfg = SystemConfig::with_array(TileArray::new(n, n));
+        let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+        let (dist, report) = run_bfs(&system, &graph, 0).expect("runs");
+        let correct = dist == graph.reference_bfs(0);
+        row(&[
+            format!("{n}x{n}"),
+            format!("{}", cfg.total_cores()),
+            format!("{}", report.cycles),
+            format!("{:.0}", report.mteps(&cfg)),
+            format!("{}", report.remote_messages),
+            format!("{correct}"),
+        ]);
+    }
+
+    header("Sec. II", "SSSP on an 8x8 system across graph families");
+    row(&["graph", "supersteps", "cycles", "edges relaxed", "correct"]);
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+    for (name, kind) in [
+        ("uniform d=8", GraphKind::UniformRandom { avg_degree: 8 }),
+        ("grid 2-D", GraphKind::Grid2d),
+        ("power law d=8", GraphKind::PowerLaw { avg_degree: 8 }),
+    ] {
+        let g = Graph::generate(kind, 5000, &mut rng);
+        let (dist, report) = run_sssp(&system, &g, 0).expect("runs");
+        row(&[
+            name.to_string(),
+            format!("{}", report.supersteps),
+            format!("{}", report.cycles),
+            format!("{}", report.edges_relaxed),
+            format!("{}", dist == g.reference_sssp(0)),
+        ]);
+    }
+
+    header(
+        "Sec. II",
+        "PageRank on an 8x8 system (20 iterations, fixed-point exact)",
+    );
+    row(&["graph", "cycles", "remote msgs/iter", "correct"]);
+    {
+        let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+        let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+        for (name, kind) in [
+            ("uniform d=8", GraphKind::UniformRandom { avg_degree: 8 }),
+            ("power law d=8", GraphKind::PowerLaw { avg_degree: 8 }),
+        ] {
+            let g = Graph::generate(kind, 5000, &mut rng);
+            let (ranks, report) = run_pagerank(&system, &g, 20).expect("runs");
+            row(&[
+                name.to_string(),
+                format!("{}", report.cycles),
+                format!("{}", report.remote_messages / 20),
+                format!("{}", ranks == reference_pagerank(&g, 20)),
+            ]);
+        }
+    }
+
+    header(
+        "Sec. II / ref. [4]",
+        "2-D Jacobi stencil scaling (256x256 grid, 100 iterations)",
+    );
+    row(&["system", "cycles", "halo msgs/step", "wall time (ms)", "correct"]);
+    let mut hot = StencilGrid::new(256, 256);
+    for y in 0..256 {
+        hot.set(0, y, 100.0);
+    }
+    for n in [2u16, 4, 8] {
+        let cfg = SystemConfig::with_array(TileArray::new(n, n));
+        let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+        let (result, report) = run_stencil(&system, &hot, 100).expect("runs");
+        row(&[
+            format!("{n}x{n}"),
+            format!("{}", report.cycles),
+            format!("{}", report.remote_messages / 100),
+            format!("{:.3}", report.wall_time(&cfg).value() * 1e3),
+            format!("{}", result == hot.reference_jacobi(100)),
+        ]);
+    }
+
+    header(
+        "Sec. VI x Sec. II",
+        "fault tolerance: BFS on an 8x8 wafer as chiplets fail",
+    );
+    row(&["faulty tiles", "usable cores", "cycles", "slowdown", "correct"]);
+    let g = Graph::generate(GraphKind::UniformRandom { avg_degree: 12 }, 10_000, &mut rng);
+    let base_cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let mut base_cycles = None;
+    for faults_n in [0usize, 2, 4, 8] {
+        let faults = FaultMap::sample_uniform(base_cfg.array(), faults_n, &mut rng);
+        let system = WaferscaleSystem::with_faults(base_cfg, faults);
+        let (dist, report) = run_bfs(&system, &g, 0).expect("runs");
+        let base = *base_cycles.get_or_insert(report.cycles);
+        row(&[
+            format!("{faults_n}"),
+            format!("{}", system.faults().healthy_count() * 14),
+            format!("{}", report.cycles),
+            format!("{:.2}x", report.cycles as f64 / base as f64),
+            format!("{}", dist == g.reference_bfs(0)),
+        ]);
+    }
+    result_line(
+        "takeaway",
+        "answers stay correct under faults; only performance degrades",
+        Some("the kernel reroutes around the fault map"),
+    );
+}

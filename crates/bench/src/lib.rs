@@ -1,0 +1,48 @@
+//! Shared plumbing for the table/figure regenerator binaries.
+//!
+//! Each binary under `src/bin` regenerates one table or figure of the
+//! DAC 2021 paper (see `DESIGN.md` for the experiment index); this
+//! library holds the tiny formatting helpers they share so every
+//! regenerator prints comparable, grep-friendly output.
+
+use std::fmt::Display;
+
+/// Prints a section header for a regenerated artefact.
+///
+/// # Examples
+///
+/// ```
+/// wsp_bench::header("Fig. 6", "disconnected pairs vs faulty chiplets");
+/// ```
+pub fn header(artifact: &str, title: &str) {
+    println!();
+    println!("=== {artifact}: {title} ===");
+}
+
+/// Prints one aligned table row from column strings.
+pub fn row<D: Display>(cols: &[D]) {
+    let rendered: Vec<String> = cols.iter().map(|c| format!("{c}")).collect();
+    println!("  {}", rendered.join(" | "));
+}
+
+/// Prints a `name: value` result line, with an optional paper-claimed
+/// value for side-by-side comparison.
+pub fn result_line<D: Display>(name: &str, measured: D, paper: Option<&str>) {
+    match paper {
+        Some(p) => println!("  {name}: {measured}   (paper: {p})"),
+        None => println!("  {name}: {measured}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        header("T1", "salient features");
+        row(&["a", "b", "c"]);
+        result_line("cores", 14_336, Some("14,336"));
+        result_line("tiles", 1024, None);
+    }
+}

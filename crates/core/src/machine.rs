@@ -1,0 +1,637 @@
+//! The multi-tile machine: ISA-level execution over the unified shared
+//! memory (Sec. II: "any core on any tile can directly access the
+//! globally shared memory across the entire waferscale system").
+//!
+//! Each tile contributes its four global banks to one flat address space:
+//! `GLOBAL_BASE + tile_index × 512 KiB + offset`. A core load/store that
+//! decodes to its own tile arbitrates the local crossbar as usual; one
+//! that decodes to a *remote* tile stalls for the network round trip
+//! (request out on one DoR network, response back on the complement) and
+//! then performs the access at the owner — including atomic
+//! fetch-and-add, which is serialised by the owner's bank port exactly
+//! like a local AMO.
+//!
+//! This is the model the FPGA emulation validated: programs written
+//! against one shared address space, running unchanged while the fault
+//! map and distance decide only the *latency* of each access.
+
+use std::fmt;
+
+use wsp_noc::{NetworkChoice, RoutePlanner};
+use wsp_tile::{
+    memory::GLOBAL_REGION_BYTES, AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState,
+    Crossbar, MemoryChiplet, StepError, GLOBAL_BASE,
+};
+use wsp_topo::{FaultMap, TileCoord};
+
+use crate::config::SystemConfig;
+
+/// Cycles per network hop (request and response each pay this).
+const CYCLES_PER_HOP: u64 = 2;
+
+/// Fixed injection + ejection overhead per remote access.
+const REMOTE_OVERHEAD: u64 = 6;
+
+/// An in-flight remote access of one core.
+#[derive(Debug, Clone, Copy)]
+struct PendingRemote {
+    addr: u32,
+    ready_at: u64,
+}
+
+/// Execution statistics of a machine run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Cycles stepped.
+    pub cycles: u64,
+    /// Instructions retired across every core.
+    pub retired: u64,
+    /// Shared-memory accesses that resolved to the issuing tile.
+    pub local_accesses: u64,
+    /// Shared-memory accesses that crossed the network.
+    pub remote_accesses: u64,
+}
+
+/// A machine of many tiles executing ISA programs over one global
+/// address space.
+///
+/// # Examples
+///
+/// ```
+/// use waferscale::{MultiTileMachine, SystemConfig};
+/// use wsp_tile::isa::{Program, Reg};
+/// use wsp_topo::{FaultMap, TileArray};
+///
+/// let cfg = SystemConfig::with_array(TileArray::new(2, 2));
+/// let mut machine = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+/// // Core 0 of tile (0,0) stores 99 into tile (1,1)'s memory.
+/// let target = machine.global_address(wsp_topo::TileCoord::new(1, 1), 0)?;
+/// let program = Program::builder()
+///     .ldi(Reg::R1, target)
+///     .ldi(Reg::R2, 99)
+///     .st(Reg::R2, Reg::R1, 0)
+///     .halt()
+///     .build()?;
+/// machine.load_program(wsp_topo::TileCoord::new(0, 0), 0, &program)?;
+/// machine.run_until_halt(10_000)?;
+/// assert_eq!(machine.read_word(target)?, 99);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MultiTileMachine {
+    config: SystemConfig,
+    faults: FaultMap,
+    planner: RoutePlanner,
+    cores: Vec<Vec<CoreSim>>,
+    memories: Vec<MemoryChiplet>,
+    crossbars: Vec<Crossbar>,
+    pending: Vec<Vec<Option<PendingRemote>>>,
+    cycles: u64,
+    local_accesses: u64,
+    remote_accesses: u64,
+}
+
+impl MultiTileMachine {
+    /// Builds a machine over the healthy tiles of `faults` (faulty tiles
+    /// have no cores and serve no memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map covers a different array than `config`.
+    pub fn new(config: SystemConfig, faults: FaultMap) -> Self {
+        assert_eq!(
+            faults.array(),
+            config.array(),
+            "fault map must match the configuration"
+        );
+        let tiles = config.array().tile_count();
+        let cores_per_tile = config.cores_per_tile();
+        MultiTileMachine {
+            config,
+            planner: RoutePlanner::new(faults.clone()),
+            faults,
+            cores: (0..tiles)
+                .map(|_| (0..cores_per_tile).map(|_| CoreSim::new()).collect())
+                .collect(),
+            memories: (0..tiles).map(|_| MemoryChiplet::new()).collect(),
+            crossbars: (0..tiles).map(|_| Crossbar::new()).collect(),
+            pending: (0..tiles).map(|_| vec![None; cores_per_tile]).collect(),
+            cycles: 0,
+            local_accesses: 0,
+            remote_accesses: 0,
+        }
+    }
+
+    /// The global byte address of `offset` within `tile`'s shared region.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tile is faulty or the offset leaves the
+    /// 512 KiB global region (misalignment is caught at access time).
+    pub fn global_address(&self, tile: TileCoord, offset: u32) -> Result<u32, AccessMemoryError> {
+        if self.faults.is_faulty(tile) || offset as usize >= GLOBAL_REGION_BYTES {
+            return Err(AccessMemoryError::OutOfRange { addr: offset });
+        }
+        let index = self.faults.array().index_of(tile) as u32;
+        Ok(GLOBAL_BASE + index * GLOBAL_REGION_BYTES as u32 + offset)
+    }
+
+    /// Loads a program into one core of one tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for faulty tiles or core indices out of range.
+    pub fn load_program(
+        &mut self,
+        tile: TileCoord,
+        core: usize,
+        program: &wsp_tile::isa::Program,
+    ) -> Result<(), LoadMachineError> {
+        if self.faults.is_faulty(tile) {
+            return Err(LoadMachineError::FaultyTile { tile });
+        }
+        let idx = self.faults.array().index_of(tile);
+        let slot = self.cores[idx]
+            .get_mut(core)
+            .ok_or(LoadMachineError::NoSuchCore { tile, core })?;
+        slot.load_program(program);
+        Ok(())
+    }
+
+    /// Access to one core for argument setup / result readout.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range tiles or cores.
+    pub fn core_mut(&mut self, tile: TileCoord, core: usize) -> &mut CoreSim {
+        let idx = self.faults.array().index_of(tile);
+        &mut self.cores[idx][core]
+    }
+
+    /// Host read of a global word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn read_word(&self, addr: u32) -> Result<u32, AccessMemoryError> {
+        let (tile_idx, offset) = self.decode(addr)?;
+        self.memories[tile_idx].read_word(offset)
+    }
+
+    /// Host write of a global word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unmapped or misaligned addresses.
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), AccessMemoryError> {
+        let (tile_idx, offset) = self.decode(addr)?;
+        self.memories[tile_idx].write_word(offset, value)
+    }
+
+    /// Decodes a global address to `(tile index, bank offset)`.
+    fn decode(&self, addr: u32) -> Result<(usize, u32), AccessMemoryError> {
+        if addr < GLOBAL_BASE {
+            return Err(AccessMemoryError::OutOfRange { addr });
+        }
+        let off = addr - GLOBAL_BASE;
+        let tile_idx = (off as usize) / GLOBAL_REGION_BYTES;
+        if tile_idx >= self.faults.array().tile_count() {
+            return Err(AccessMemoryError::OutOfRange { addr });
+        }
+        let tile = self.faults.array().coord_of(tile_idx);
+        if self.faults.is_faulty(tile) {
+            return Err(AccessMemoryError::OutOfRange { addr });
+        }
+        Ok((tile_idx, off % GLOBAL_REGION_BYTES as u32))
+    }
+
+    /// Whether any core is still running.
+    pub fn any_running(&self) -> bool {
+        self.cores
+            .iter()
+            .flatten()
+            .any(|c| c.state() == CoreState::Running)
+    }
+
+    /// Advances every tile one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first core fault (identified by tile and core).
+    pub fn step(&mut self) -> Result<(), RunMachineError> {
+        self.cycles += 1;
+        let array = self.faults.array();
+        for xbar in &mut self.crossbars {
+            xbar.begin_cycle();
+        }
+        let rotate = (self.cycles % self.config.cores_per_tile() as u64) as usize;
+        for tile_idx in 0..array.tile_count() {
+            let tile = array.coord_of(tile_idx);
+            if self.faults.is_faulty(tile) {
+                continue;
+            }
+            let n = self.config.cores_per_tile();
+            for i in 0..n {
+                let core_idx = (i + rotate) % n;
+                let outcome = self.step_core(tile_idx, core_idx);
+                outcome.map_err(|source| RunMachineError::CoreFault {
+                    tile,
+                    core: core_idx,
+                    source,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps one core, servicing local and remote shared accesses.
+    fn step_core(&mut self, tile_idx: usize, core_idx: usize) -> Result<(), StepError> {
+        let array = self.faults.array();
+        let my_tile = array.coord_of(tile_idx);
+        let cycles = self.cycles;
+
+        // Split the borrows the closure needs out of `self`.
+        let Self {
+            faults,
+            planner,
+            cores,
+            memories,
+            crossbars,
+            pending,
+            local_accesses,
+            remote_accesses,
+            ..
+        } = self;
+        let pending_slot = &mut pending[tile_idx][core_idx];
+
+        // Decode helper over the split borrows.
+        let decode = |addr: u32| -> Result<(usize, u32), AccessMemoryError> {
+            if addr < GLOBAL_BASE {
+                return Err(AccessMemoryError::OutOfRange { addr });
+            }
+            let off = addr - GLOBAL_BASE;
+            let t = (off as usize) / GLOBAL_REGION_BYTES;
+            if t >= array.tile_count() || faults.is_faulty(array.coord_of(t)) {
+                return Err(AccessMemoryError::OutOfRange { addr });
+            }
+            Ok((t, off % GLOBAL_REGION_BYTES as u32))
+        };
+
+        // Take the core out to avoid aliasing the vectors inside the
+        // closure (memories/crossbars of *other* tiles are touched).
+        let core = &mut cores[tile_idx][core_idx];
+        core.step(|access| {
+            let addr = match access {
+                BusAccess::Load { addr }
+                | BusAccess::Store { addr, .. }
+                | BusAccess::AmoAdd { addr, .. } => addr,
+            };
+            let (owner_idx, offset) = decode(addr)?;
+
+            if owner_idx != tile_idx {
+                // Remote: stall for the network round trip first.
+                match pending_slot {
+                    Some(p) if p.addr == addr => {
+                        if cycles < p.ready_at {
+                            return Ok(BusGrant::Stalled);
+                        }
+                        // Fall through to perform at the owner below.
+                    }
+                    _ => {
+                        let owner = array.coord_of(owner_idx);
+                        let latency = {
+                            let hops = match planner.choose(my_tile, owner) {
+                                NetworkChoice::Direct(_) => {
+                                    u64::from(my_tile.manhattan_distance(owner))
+                                }
+                                NetworkChoice::Relay { via, .. } => {
+                                    u64::from(my_tile.manhattan_distance(via))
+                                        + u64::from(via.manhattan_distance(owner))
+                                }
+                                NetworkChoice::Disconnected => {
+                                    return Err(AccessMemoryError::OutOfRange { addr });
+                                }
+                            };
+                            2 * hops * CYCLES_PER_HOP + REMOTE_OVERHEAD
+                        };
+                        *pending_slot = Some(PendingRemote {
+                            addr,
+                            ready_at: cycles + latency,
+                        });
+                        return Ok(BusGrant::Stalled);
+                    }
+                }
+            }
+
+            // Arbitrate the owner tile's crossbar.
+            let bank = memories[owner_idx].bank_of(offset)?;
+            if !crossbars[owner_idx].request(bank) {
+                return Ok(BusGrant::Stalled);
+            }
+            if owner_idx != tile_idx {
+                *pending_slot = None;
+                *remote_accesses += 1;
+            } else {
+                *local_accesses += 1;
+            }
+            match access {
+                BusAccess::Load { .. } => {
+                    Ok(BusGrant::Granted(memories[owner_idx].read_word(offset)?))
+                }
+                BusAccess::Store { value, .. } => {
+                    memories[owner_idx].write_word(offset, value)?;
+                    Ok(BusGrant::Granted(0))
+                }
+                BusAccess::AmoAdd { value, .. } => {
+                    let old = memories[owner_idx].read_word(offset)?;
+                    memories[owner_idx].write_word(offset, old.wrapping_add(value))?;
+                    Ok(BusGrant::Granted(old))
+                }
+            }
+        })
+        .map(|_| ())
+    }
+
+    /// Steps until every core halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunMachineError::CycleLimit`] past the budget, or the
+    /// first core fault.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<MachineStats, RunMachineError> {
+        let start = self.cycles;
+        while self.any_running() {
+            if self.cycles - start >= max_cycles {
+                return Err(RunMachineError::CycleLimit { max_cycles });
+            }
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycles,
+            retired: self
+                .cores
+                .iter()
+                .flatten()
+                .map(|c| c.stats().retired)
+                .sum(),
+            local_accesses: self.local_accesses,
+            remote_accesses: self.remote_accesses,
+        }
+    }
+}
+
+impl fmt::Debug for MultiTileMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiTileMachine")
+            .field("array", &self.config.array())
+            .field("cycles", &self.cycles)
+            .field("remote_accesses", &self.remote_accesses)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Errors loading programs into the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMachineError {
+    /// The target tile failed assembly.
+    FaultyTile {
+        /// The tile.
+        tile: TileCoord,
+    },
+    /// The core index does not exist.
+    NoSuchCore {
+        /// The tile.
+        tile: TileCoord,
+        /// The requested core.
+        core: usize,
+    },
+}
+
+impl fmt::Display for LoadMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadMachineError::FaultyTile { tile } => write!(f, "tile {tile} is faulty"),
+            LoadMachineError::NoSuchCore { tile, core } => {
+                write!(f, "tile {tile} has no core {core}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadMachineError {}
+
+/// Errors advancing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMachineError {
+    /// A core trapped.
+    CoreFault {
+        /// The tile holding the core.
+        tile: TileCoord,
+        /// The core index.
+        core: usize,
+        /// The architectural fault.
+        source: StepError,
+    },
+    /// The cycle budget was exhausted.
+    CycleLimit {
+        /// The budget.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for RunMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunMachineError::CoreFault { tile, core, source } => {
+                write!(f, "core {core} of tile {tile} faulted: {source}")
+            }
+            RunMachineError::CycleLimit { max_cycles } => {
+                write!(f, "machine did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunMachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_tile::isa::{Program, Reg};
+    use wsp_topo::TileArray;
+
+    fn machine(n: u16) -> MultiTileMachine {
+        let cfg = SystemConfig::with_array(TileArray::new(n, n));
+        MultiTileMachine::new(cfg, FaultMap::none(cfg.array()))
+    }
+
+    #[test]
+    fn remote_store_lands_in_the_owner_memory() {
+        let mut m = machine(2);
+        let target = m.global_address(TileCoord::new(1, 1), 64).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, target)
+            .ldi(Reg::R2, 0xCAFE)
+            .st(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program).expect("ok");
+        let stats = m.run_until_halt(10_000).expect("halts");
+        assert_eq!(m.read_word(target).expect("ok"), 0xCAFE);
+        assert_eq!(stats.remote_accesses, 1);
+        assert_eq!(stats.local_accesses, 0);
+    }
+
+    #[test]
+    fn remote_access_pays_network_latency() {
+        // The same single-store program, run against a near and a far
+        // owner: the far run must take longer.
+        let run = |owner: TileCoord| -> u64 {
+            let mut m = machine(8);
+            let target = m.global_address(owner, 0).expect("ok");
+            let program = Program::builder()
+                .ldi(Reg::R1, target)
+                .ldi(Reg::R2, 1)
+                .st(Reg::R2, Reg::R1, 0)
+                .halt()
+                .build()
+                .expect("builds");
+            m.load_program(TileCoord::new(0, 0), 0, &program).expect("ok");
+            m.run_until_halt(100_000).expect("halts").cycles
+        };
+        let near = run(TileCoord::new(1, 0));
+        let far = run(TileCoord::new(7, 7));
+        assert!(
+            far > near + 20,
+            "far {far} should exceed near {near} by the hop latency"
+        );
+    }
+
+    #[test]
+    fn flag_based_message_passing_across_tiles() {
+        // Producer on tile (0,0) writes data then sets a flag; consumer
+        // on tile (1,1) spins on the flag, then reads the data — the
+        // classic unified-shared-memory handshake.
+        let mut m = machine(2);
+        let data = m.global_address(TileCoord::new(1, 0), 0).expect("ok");
+        let flag = m.global_address(TileCoord::new(1, 0), 4).expect("ok");
+
+        let producer = Program::builder()
+            .ldi(Reg::R1, data)
+            .ldi(Reg::R2, 777)
+            .st(Reg::R2, Reg::R1, 0)
+            .ldi(Reg::R3, flag)
+            .ldi(Reg::R4, 1)
+            .st(Reg::R4, Reg::R3, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        let consumer = Program::builder()
+            .ldi(Reg::R3, flag)
+            .ldi(Reg::R0, 0)
+            .label("spin")
+            .ld(Reg::R4, Reg::R3, 0)
+            .beq(Reg::R4, Reg::R0, "spin")
+            .ldi(Reg::R1, data)
+            .ld(Reg::R5, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+
+        m.load_program(TileCoord::new(0, 0), 0, &producer).expect("ok");
+        m.load_program(TileCoord::new(1, 1), 0, &consumer).expect("ok");
+        m.run_until_halt(100_000).expect("halts");
+        assert_eq!(m.core_mut(TileCoord::new(1, 1), 0).reg(Reg::R5), 777);
+    }
+
+    #[test]
+    fn global_amo_counter_across_all_tiles_and_cores() {
+        // Every core of every tile on a 2x2 machine atomically increments
+        // one counter on tile (0,0): 4 tiles × 14 cores × 5 increments.
+        let mut m = machine(2);
+        let counter = m.global_address(TileCoord::new(0, 0), 128).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, counter)
+            .ldi(Reg::R2, 1)
+            .ldi(Reg::R3, 5)
+            .ldi(Reg::R0, 0)
+            .label("loop")
+            .amo_add(Reg::R4, Reg::R1, Reg::R2)
+            .addi(Reg::R3, Reg::R3, -1)
+            .bne(Reg::R3, Reg::R0, "loop")
+            .halt()
+            .build()
+            .expect("builds");
+        for tile in TileArray::new(2, 2).tiles() {
+            for core in 0..14 {
+                m.load_program(tile, core, &program).expect("ok");
+            }
+        }
+        m.run_until_halt(1_000_000).expect("halts");
+        assert_eq!(m.read_word(counter).expect("ok"), 4 * 14 * 5);
+    }
+
+    #[test]
+    fn faulty_owner_faults_the_accessing_core() {
+        let cfg = SystemConfig::with_array(TileArray::new(2, 2));
+        let dead = TileCoord::new(1, 1);
+        let faults = FaultMap::from_faulty(cfg.array(), [dead]);
+        let mut m = MultiTileMachine::new(cfg, faults);
+        assert!(m.global_address(dead, 0).is_err());
+        // Hand-construct the address the dead tile would have owned.
+        let addr = GLOBAL_BASE + 3 * GLOBAL_REGION_BYTES as u32;
+        let program = Program::builder()
+            .ldi(Reg::R1, addr)
+            .ld(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program).expect("ok");
+        let err = m.run_until_halt(1000).expect_err("faults");
+        assert!(matches!(err, RunMachineError::CoreFault { .. }));
+    }
+
+    #[test]
+    fn local_accesses_do_not_pay_remote_latency() {
+        let mut m = machine(2);
+        let local = m.global_address(TileCoord::new(0, 0), 0).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, local)
+            .ldi(Reg::R2, 5)
+            .st(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program).expect("ok");
+        let stats = m.run_until_halt(1000).expect("halts");
+        assert_eq!(stats.local_accesses, 1);
+        assert_eq!(stats.remote_accesses, 0);
+        // 4 instructions + a couple of cycles of slack.
+        assert!(stats.cycles < 20, "cycles {}", stats.cycles);
+    }
+
+    #[test]
+    fn load_errors_are_reported() {
+        let cfg = SystemConfig::with_array(TileArray::new(2, 2));
+        let dead = TileCoord::new(0, 1);
+        let faults = FaultMap::from_faulty(cfg.array(), [dead]);
+        let mut m = MultiTileMachine::new(cfg, faults);
+        let p = Program::builder().halt().build().expect("ok");
+        assert_eq!(
+            m.load_program(dead, 0, &p).expect_err("faulty"),
+            LoadMachineError::FaultyTile { tile: dead }
+        );
+        assert_eq!(
+            m.load_program(TileCoord::new(0, 0), 99, &p).expect_err("bad core"),
+            LoadMachineError::NoSuchCore {
+                tile: TileCoord::new(0, 0),
+                core: 99
+            }
+        );
+    }
+}

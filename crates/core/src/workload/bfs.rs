@@ -1,0 +1,232 @@
+//! Distributed level-synchronous breadth-first search.
+
+use wsp_noc::NetworkChoice;
+use wsp_topo::TileCoord;
+
+use crate::system::WaferscaleSystem;
+use crate::workload::graph::Graph;
+use crate::workload::{
+    RunWorkloadError, WorkloadReport, CYCLES_PER_EDGE, CYCLES_PER_HOP, CYCLES_PER_MESSAGE,
+};
+
+/// Runs BFS from `source` across the system's usable tiles.
+///
+/// Vertices are distributed round-robin over the healthy tiles; each
+/// superstep processes the current frontier on the owning tiles' cores
+/// and ships discovered-vertex updates to their owners over the dual-DoR
+/// network. Returns the hop distances (`u32::MAX` = unreachable in the
+/// graph) and the execution report.
+///
+/// # Errors
+///
+/// Returns [`RunWorkloadError`] when the source is out of range, the
+/// system has no usable tiles, or a vertex owner is network-unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use waferscale::workload::{run_bfs, Graph, GraphKind};
+/// use waferscale::{SystemConfig, WaferscaleSystem};
+/// use wsp_topo::{FaultMap, TileArray};
+///
+/// let cfg = SystemConfig::with_array(TileArray::new(4, 4));
+/// let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+/// let mut rng = wsp_common::seeded_rng(1);
+/// let graph = Graph::generate(GraphKind::Grid2d, 64, &mut rng);
+/// let (dist, report) = run_bfs(&system, &graph, 0)?;
+/// assert_eq!(dist, graph.reference_bfs(0));
+/// assert!(report.supersteps > 0);
+/// # Ok::<(), waferscale::workload::RunWorkloadError>(())
+/// ```
+pub fn run_bfs(
+    system: &WaferscaleSystem,
+    graph: &Graph,
+    source: usize,
+) -> Result<(Vec<u32>, WorkloadReport), RunWorkloadError> {
+    let n = graph.vertex_count();
+    if source >= n {
+        return Err(RunWorkloadError::SourceOutOfRange {
+            source,
+            vertices: n,
+        });
+    }
+    let owners: Vec<TileCoord> = system.faults().healthy_tiles().collect();
+    if owners.is_empty() {
+        return Err(RunWorkloadError::NoUsableTiles);
+    }
+    let owner_of = |v: usize| owners[v % owners.len()];
+    let planner = system.route_planner();
+    let cores = system.config().cores_per_tile() as u64;
+
+    let mut dist = vec![u32::MAX; n];
+    dist[source] = 0;
+    let mut frontier = vec![source];
+
+    let mut report = WorkloadReport {
+        supersteps: 0,
+        cycles: 0,
+        edges_relaxed: 0,
+        remote_messages: 0,
+        vertices_reached: 1,
+    };
+
+    while !frontier.is_empty() {
+        report.supersteps += 1;
+        let level = report.supersteps; // distance assigned this superstep
+
+        // Per-tile work accounting for this superstep.
+        let mut edges_by_tile: std::collections::HashMap<TileCoord, u64> =
+            std::collections::HashMap::new();
+        let mut msgs_by_tile: std::collections::HashMap<TileCoord, u64> =
+            std::collections::HashMap::new();
+        let mut max_hop_latency: u64 = 0;
+
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let src_tile = owner_of(v);
+            *edges_by_tile.entry(src_tile).or_insert(0) += graph.degree(v) as u64;
+            report.edges_relaxed += graph.degree(v) as u64;
+            for (nb, _) in graph.neighbors(v) {
+                let nb = nb as usize;
+                if dist[nb] != u32::MAX {
+                    continue;
+                }
+                dist[nb] = level;
+                report.vertices_reached += 1;
+                next.push(nb);
+                let dst_tile = owner_of(nb);
+                if dst_tile != src_tile {
+                    report.remote_messages += 1;
+                    *msgs_by_tile.entry(src_tile).or_insert(0) += 1;
+                    let latency = match planner.choose(src_tile, dst_tile) {
+                        NetworkChoice::Direct(_) => {
+                            u64::from(src_tile.manhattan_distance(dst_tile)) * CYCLES_PER_HOP
+                        }
+                        NetworkChoice::Relay { via, .. } => {
+                            (u64::from(src_tile.manhattan_distance(via))
+                                + u64::from(via.manhattan_distance(dst_tile)))
+                                * CYCLES_PER_HOP
+                        }
+                        NetworkChoice::Disconnected => {
+                            // Kernel fallback: store-and-forward through
+                            // intermediate tiles; each hop re-injects.
+                            let hops = crate::workload::store_and_forward_hops(
+                                system.faults(),
+                                src_tile,
+                                dst_tile,
+                            )
+                            .ok_or(RunWorkloadError::OwnerUnreachable { vertex: nb })?;
+                            hops * (CYCLES_PER_HOP + CYCLES_PER_MESSAGE)
+                        }
+                    };
+                    max_hop_latency = max_hop_latency.max(latency);
+                }
+            }
+        }
+
+        // Superstep cost: the slowest tile's compute (edges spread over
+        // its 14 cores), plus its message injection serialisation, plus
+        // the worst in-flight latency (level-synchronous barrier).
+        let compute = edges_by_tile
+            .values()
+            .map(|e| e.div_ceil(cores) * CYCLES_PER_EDGE)
+            .max()
+            .unwrap_or(0);
+        let inject = msgs_by_tile
+            .values()
+            .map(|m| m * CYCLES_PER_MESSAGE)
+            .max()
+            .unwrap_or(0);
+        report.cycles += compute + inject + max_hop_latency;
+
+        frontier = next;
+    }
+
+    Ok((dist, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::workload::graph::GraphKind;
+    use wsp_common::seeded_rng;
+    use wsp_topo::{FaultMap, TileArray};
+
+    fn clean_system(n: u16) -> WaferscaleSystem {
+        let cfg = SystemConfig::with_array(TileArray::new(n, n));
+        WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()))
+    }
+
+    #[test]
+    fn distributed_bfs_matches_reference_on_all_graph_kinds() {
+        let system = clean_system(8);
+        let mut rng = seeded_rng(10);
+        for kind in [
+            GraphKind::Grid2d,
+            GraphKind::UniformRandom { avg_degree: 6 },
+            GraphKind::PowerLaw { avg_degree: 6 },
+        ] {
+            let graph = Graph::generate(kind, 300, &mut rng);
+            let (dist, _) = run_bfs(&system, &graph, 0).expect("runs");
+            assert_eq!(dist, graph.reference_bfs(0), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bfs_is_correct_on_a_faulty_wafer() {
+        // Faults change ownership and routing, never answers.
+        let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+        let mut rng = seeded_rng(11);
+        let faults = FaultMap::sample_uniform(cfg.array(), 6, &mut rng);
+        let system = WaferscaleSystem::with_faults(cfg, faults);
+        let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 8 }, 400, &mut rng);
+        let (dist, report) = run_bfs(&system, &graph, 3).expect("runs");
+        assert_eq!(dist, graph.reference_bfs(3));
+        assert!(report.remote_messages > 0);
+    }
+
+    #[test]
+    fn report_statistics_are_consistent() {
+        let system = clean_system(4);
+        let mut rng = seeded_rng(12);
+        let graph = Graph::generate(GraphKind::Grid2d, 256, &mut rng);
+        let (dist, report) = run_bfs(&system, &graph, 0).expect("runs");
+        let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+        assert_eq!(report.vertices_reached, reached);
+        // 16×16 lattice: max distance from the corner is 30, plus the
+        // final superstep that processes the last frontier and finds
+        // nothing new.
+        assert_eq!(report.supersteps, 31);
+        assert!(report.cycles > 0);
+        assert!(report.mteps(system.config()) > 0.0);
+    }
+
+    #[test]
+    fn more_tiles_means_fewer_cycles_for_the_same_graph() {
+        let mut rng = seeded_rng(13);
+        let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 16 }, 2000, &mut rng);
+        let (_, small) = run_bfs(&clean_system(2), &graph, 0).expect("runs");
+        let (_, large) = run_bfs(&clean_system(8), &graph, 0).expect("runs");
+        assert!(
+            large.cycles < small.cycles,
+            "8x8 ({}) not faster than 2x2 ({})",
+            large.cycles,
+            small.cycles
+        );
+    }
+
+    #[test]
+    fn source_out_of_range_is_reported() {
+        let system = clean_system(2);
+        let mut rng = seeded_rng(14);
+        let graph = Graph::generate(GraphKind::Grid2d, 16, &mut rng);
+        assert_eq!(
+            run_bfs(&system, &graph, 99).expect_err("bad source"),
+            RunWorkloadError::SourceOutOfRange {
+                source: 99,
+                vertices: 16
+            }
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Graph workloads on the unified shared memory (Sec. II).
+//!
+//! The paper validated the architecture by running graph applications —
+//! breadth-first search and single-source shortest path — on a
+//! reduced-size FPGA emulation of the multi-tile system. This module
+//! reproduces that validation in simulation: vertices are partitioned
+//! round-robin across the healthy tiles' shared memory, kernels execute
+//! level-synchronously on the 14 cores of each owning tile, and every
+//! cross-tile edge relaxation becomes a request/response pair priced by
+//! the dual-DoR network model.
+//!
+//! Results are *checked*: each distributed run is compared against a
+//! sequential reference on the same graph.
+
+mod bfs;
+mod graph;
+mod pagerank;
+mod sssp;
+mod stencil;
+
+pub use bfs::run_bfs;
+pub use graph::{Graph, GraphKind};
+pub use pagerank::{reference_pagerank, run_pagerank};
+pub use sssp::run_sssp;
+pub use stencil::{run_stencil, StencilGrid};
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use wsp_common::units::Seconds;
+
+use wsp_common::units::Amps;
+use wsp_topo::{FaultMap, TileCoord};
+
+use crate::config::SystemConfig;
+use crate::system::WaferscaleSystem;
+
+/// Cycles a core spends per edge relaxation (load, compare, store).
+pub(crate) const CYCLES_PER_EDGE: u64 = 4;
+
+/// Cycles per network hop for a remote message.
+pub(crate) const CYCLES_PER_HOP: u64 = 2;
+
+/// Fixed per-message injection/ejection overhead, in cycles.
+pub(crate) const CYCLES_PER_MESSAGE: u64 = 6;
+
+/// Hop count of the shortest healthy-tile path between two tiles — the
+/// kernel's last-resort store-and-forward route when no one- or two-leg
+/// DoR path survives (Sec. VI: packets "divert to an intermediate tile",
+/// generalised to as many intermediates as the fault maze requires).
+pub(crate) fn store_and_forward_hops(
+    faults: &FaultMap,
+    from: TileCoord,
+    to: TileCoord,
+) -> Option<u64> {
+    if faults.is_faulty(from) || faults.is_faulty(to) {
+        return None;
+    }
+    let array = faults.array();
+    let mut dist = vec![u64::MAX; array.tile_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[array.index_of(from)] = 0;
+    queue.push_back(from);
+    while let Some(t) = queue.pop_front() {
+        if t == to {
+            return Some(dist[array.index_of(t)]);
+        }
+        let d = dist[array.index_of(t)];
+        for nb in array.neighbors(t) {
+            let idx = array.index_of(nb);
+            if faults.is_healthy(nb) && dist[idx] == u64::MAX {
+                dist[idx] = d + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+/// Derives a per-tile current map from a graph workload's data placement,
+/// for feeding into [`wsp_pdn::PdnConfig::solve_with_tile_currents`]:
+/// tiles draw current in proportion to the edge work of the vertices they
+/// own, scaled between an idle floor and the peak tile current.
+///
+/// Faulty tiles draw nothing (their LDOs never power up).
+///
+/// # Examples
+///
+/// ```
+/// use waferscale::workload::{activity_power_map, Graph, GraphKind};
+/// use waferscale::{SystemConfig, WaferscaleSystem};
+/// use wsp_pdn::PdnConfig;
+/// use wsp_topo::{FaultMap, TileArray};
+///
+/// let cfg = SystemConfig::paper_prototype();
+/// let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+/// let mut rng = wsp_common::seeded_rng(3);
+/// let graph = Graph::generate(GraphKind::PowerLaw { avg_degree: 8 }, 50_000, &mut rng);
+/// let currents = activity_power_map(&system, &graph);
+/// let sol = PdnConfig::paper_prototype().solve_with_tile_currents(&currents)?;
+/// assert!(sol.min_voltage().value() > 1.3);
+/// # Ok::<(), wsp_pdn::SolvePdnError>(())
+/// ```
+pub fn activity_power_map(system: &WaferscaleSystem, graph: &Graph) -> Vec<Amps> {
+    let array = system.config().array();
+    let owners: Vec<TileCoord> = system.faults().healthy_tiles().collect();
+    let peak = wsp_pdn::PdnConfig::PAPER_TILE_CURRENT;
+    let idle = Amps(peak.value() * 0.05);
+    if owners.is_empty() {
+        return vec![Amps::ZERO; array.tile_count()];
+    }
+    // Edge work per owning tile.
+    let mut work = vec![0u64; array.tile_count()];
+    for v in 0..graph.vertex_count() {
+        let owner = owners[v % owners.len()];
+        work[array.index_of(owner)] += graph.degree(v) as u64;
+    }
+    let max_work = work.iter().copied().max().unwrap_or(0).max(1);
+    array
+        .tiles()
+        .map(|t| {
+            if system.faults().is_faulty(t) {
+                Amps::ZERO
+            } else {
+                let frac = work[array.index_of(t)] as f64 / max_work as f64;
+                Amps(idle.value() + frac * (peak.value() - idle.value()))
+            }
+        })
+        .collect()
+}
+
+/// Execution report of one distributed kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Superstep (level/iteration) count.
+    pub supersteps: u32,
+    /// Total simulated cycles (max over tiles per superstep, summed).
+    pub cycles: u64,
+    /// Edge relaxations performed.
+    pub edges_relaxed: u64,
+    /// Cross-tile messages exchanged.
+    pub remote_messages: u64,
+    /// Vertices the kernel reached.
+    pub vertices_reached: usize,
+}
+
+impl WorkloadReport {
+    /// Wall-clock time at the nominal frequency of `config`.
+    pub fn wall_time(&self, config: &SystemConfig) -> Seconds {
+        Seconds(self.cycles as f64 / config.frequency().value())
+    }
+
+    /// Millions of traversed edges per second at the nominal frequency —
+    /// the standard graph-processing throughput metric.
+    pub fn mteps(&self, config: &SystemConfig) -> f64 {
+        let t = self.wall_time(config).value();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.edges_relaxed as f64 / t / 1e6
+        }
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} supersteps, {} cycles, {} edges, {} remote msgs, {} vertices reached",
+            self.supersteps,
+            self.cycles,
+            self.edges_relaxed,
+            self.remote_messages,
+            self.vertices_reached
+        )
+    }
+}
+
+/// Failure modes of the distributed kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunWorkloadError {
+    /// The source vertex does not exist.
+    SourceOutOfRange {
+        /// The requested source.
+        source: usize,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// The system has no usable tiles.
+    NoUsableTiles,
+    /// A vertex is owned by a tile that cannot be reached from the tile
+    /// that discovered it (disconnected fault pattern).
+    OwnerUnreachable {
+        /// The unreachable vertex.
+        vertex: usize,
+    },
+}
+
+impl fmt::Display for RunWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunWorkloadError::SourceOutOfRange { source, vertices } => {
+                write!(f, "source vertex {source} outside graph of {vertices} vertices")
+            }
+            RunWorkloadError::NoUsableTiles => f.write_str("system has no usable tiles"),
+            RunWorkloadError::OwnerUnreachable { vertex } => {
+                write!(f, "owner tile of vertex {vertex} is network-unreachable")
+            }
+        }
+    }
+}
+
+impl Error for RunWorkloadError {}

@@ -1,0 +1,456 @@
+//! Monte-Carlo connectivity analysis of the dual-DoR scheme (Fig. 6).
+//!
+//! For a given fault map, a source-destination pair is *disconnected* when
+//! no usable network offers a fully healthy DoR path between them. Because
+//! a DoR path is one row segment plus one column segment, path health can
+//! be answered in O(1) per pair from per-row/per-column fault prefix sums,
+//! which is what lets the sweep evaluate all ~10⁶ ordered pairs of a 32×32
+//! wafer for hundreds of random fault maps in milliseconds.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wsp_common::rng::stream_seed;
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+/// The routing schemes compared in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingScheme {
+    /// A single X-Y dimension-ordered network (the conventional baseline).
+    SingleXy,
+    /// The paper's two independent networks: a pair is connected if either
+    /// the X-Y or the Y-X path is healthy.
+    DualXyYx,
+}
+
+impl std::fmt::Display for RoutingScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingScheme::SingleXy => f.write_str("single DoR network"),
+            RoutingScheme::DualXyYx => f.write_str("two DoR networks"),
+        }
+    }
+}
+
+/// Prefix-sum oracle answering "is this row/column segment fault-free?"
+/// in O(1).
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentOracle {
+    array: TileArray,
+    /// `row_prefix[y][x]` = number of faulty tiles in row `y` at columns `< x`.
+    row_prefix: Vec<Vec<u32>>,
+    /// `col_prefix[x][y]` = number of faulty tiles in column `x` at rows `< y`.
+    col_prefix: Vec<Vec<u32>>,
+}
+
+impl SegmentOracle {
+    pub(crate) fn new(faults: &FaultMap) -> Self {
+        let array = faults.array();
+        let cols = usize::from(array.cols());
+        let rows = usize::from(array.rows());
+        let mut row_prefix = vec![vec![0u32; cols + 1]; rows];
+        let mut col_prefix = vec![vec![0u32; rows + 1]; cols];
+        for y in 0..rows {
+            for x in 0..cols {
+                let faulty = faults.is_faulty(TileCoord::new(x as u16, y as u16)) as u32;
+                row_prefix[y][x + 1] = row_prefix[y][x] + faulty;
+                col_prefix[x][y + 1] = col_prefix[x][y] + faulty;
+            }
+        }
+        SegmentOracle {
+            array,
+            row_prefix,
+            col_prefix,
+        }
+    }
+
+    /// No faults in row `y`, columns `x0..=x1` (order-insensitive)?
+    #[inline]
+    pub(crate) fn row_clear(&self, y: u16, x0: u16, x1: u16) -> bool {
+        let (lo, hi) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        let row = &self.row_prefix[usize::from(y)];
+        row[usize::from(hi) + 1] - row[usize::from(lo)] == 0
+    }
+
+    /// No faults in column `x`, rows `y0..=y1` (order-insensitive)?
+    #[inline]
+    pub(crate) fn col_clear(&self, x: u16, y0: u16, y1: u16) -> bool {
+        let (lo, hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        let col = &self.col_prefix[usize::from(x)];
+        col[usize::from(hi) + 1] - col[usize::from(lo)] == 0
+    }
+
+    /// XY-path health: row segment in the source row, then column segment
+    /// in the destination column (endpoints included).
+    #[inline]
+    pub(crate) fn xy_connected(&self, s: TileCoord, d: TileCoord) -> bool {
+        self.row_clear(s.y, s.x, d.x) && self.col_clear(d.x, s.y, d.y)
+    }
+
+    /// YX-path health: column segment in the source column, then row
+    /// segment in the destination row.
+    #[inline]
+    pub(crate) fn yx_connected(&self, s: TileCoord, d: TileCoord) -> bool {
+        self.col_clear(s.x, s.y, d.y) && self.row_clear(d.y, s.x, d.x)
+    }
+
+    pub(crate) fn array(&self) -> TileArray {
+        self.array
+    }
+}
+
+/// Fraction of healthy-tile pairs that cannot complete a request/response
+/// round trip under the given scheme.
+///
+/// The semantics follow Sec. VI: with a **single** X-Y network, the
+/// request rides XY(src→dst) and the response XY(dst→src) — two distinct
+/// physical L-paths that must *both* be healthy. With the paper's **two**
+/// networks, the response returns on the complementary network along the
+/// same tiles as the request, so the pair communicates whenever *either*
+/// of its two L-paths survives. Pairs where an endpoint is itself faulty
+/// are excluded: the paper measures connectivity among working chiplets.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_noc::connectivity::{disconnected_fraction, RoutingScheme};
+/// use wsp_topo::{FaultMap, TileArray};
+///
+/// let clean = FaultMap::none(TileArray::new(16, 16));
+/// assert_eq!(disconnected_fraction(&clean, RoutingScheme::SingleXy), 0.0);
+/// ```
+pub fn disconnected_fraction(faults: &FaultMap, scheme: RoutingScheme) -> f64 {
+    let oracle = SegmentOracle::new(faults);
+    let array = oracle.array();
+    let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+    if healthy.len() < 2 {
+        return 0.0;
+    }
+    let mut disconnected = 0u64;
+    let mut total = 0u64;
+    for (i, &s) in healthy.iter().enumerate() {
+        for &d in &healthy[i + 1..] {
+            total += 1;
+            let connected = match scheme {
+                // Round trip on one network: both directed L-paths needed.
+                RoutingScheme::SingleXy => {
+                    oracle.xy_connected(s, d) && oracle.xy_connected(d, s)
+                }
+                // Complementary response routing: one healthy L suffices.
+                RoutingScheme::DualXyYx => {
+                    oracle.xy_connected(s, d) || oracle.yx_connected(s, d)
+                }
+            };
+            if !connected {
+                disconnected += 1;
+            }
+        }
+    }
+    let _ = array;
+    disconnected as f64 / total as f64
+}
+
+/// One point of the Fig. 6 sweep: average disconnection at a fault count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityPoint {
+    /// Number of faulty chiplets injected.
+    pub faulty_chiplets: usize,
+    /// Mean disconnected-pair fraction with a single X-Y network.
+    pub single_network: f64,
+    /// Mean disconnected-pair fraction with the dual X-Y / Y-X networks.
+    pub dual_network: f64,
+}
+
+/// The Fig. 6 Monte-Carlo sweep over random fault maps.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_noc::ConnectivitySweep;
+/// use wsp_topo::TileArray;
+///
+/// let sweep = ConnectivitySweep::new(TileArray::new(16, 16), 8);
+/// let mut rng = wsp_common::seeded_rng(3);
+/// let points = sweep.run(&[0, 2, 4], &mut rng);
+/// assert_eq!(points.len(), 3);
+/// assert_eq!(points[0].single_network, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectivitySweep {
+    array: TileArray,
+    trials: usize,
+}
+
+impl ConnectivitySweep {
+    /// Creates a sweep over `array` averaging `trials` random fault maps
+    /// per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn new(array: TileArray, trials: usize) -> Self {
+        assert!(trials > 0, "at least one trial required");
+        ConnectivitySweep { array, trials }
+    }
+
+    /// The paper's setting: the full 32×32 wafer.
+    pub fn paper_sweep(trials: usize) -> Self {
+        ConnectivitySweep::new(TileArray::new(32, 32), trials)
+    }
+
+    /// Number of Monte-Carlo trials per fault count.
+    #[inline]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Runs the sweep for each fault count, averaging both schemes over
+    /// the same fault maps (paired comparison, as in the paper).
+    pub fn run<R: Rng + ?Sized>(&self, fault_counts: &[usize], rng: &mut R) -> Vec<ConnectivityPoint> {
+        fault_counts
+            .iter()
+            .map(|&count| {
+                let mut single = 0.0;
+                let mut dual = 0.0;
+                for _ in 0..self.trials {
+                    let faults = FaultMap::sample_uniform(self.array, count, rng);
+                    let oracle = SegmentOracle::new(&faults);
+                    let (s, d) = both_fractions(&faults, &oracle);
+                    single += s;
+                    dual += d;
+                }
+                ConnectivityPoint {
+                    faulty_chiplets: count,
+                    single_network: single / self.trials as f64,
+                    dual_network: dual / self.trials as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Like [`ConnectivitySweep::run`] but deterministic per `(seed, point)`
+    /// so points can be computed independently (e.g. from parallel
+    /// workers) and still reproduce the single-threaded sweep.
+    pub fn run_point(&self, fault_count: usize, seed: u64) -> ConnectivityPoint {
+        let mut single = 0.0;
+        let mut dual = 0.0;
+        for trial in 0..self.trials {
+            let mut rng =
+                wsp_common::seeded_rng(stream_seed(seed, (fault_count as u64) << 32 | trial as u64));
+            let faults = FaultMap::sample_uniform(self.array, fault_count, &mut rng);
+            let oracle = SegmentOracle::new(&faults);
+            let (s, d) = both_fractions(&faults, &oracle);
+            single += s;
+            dual += d;
+        }
+        ConnectivityPoint {
+            faulty_chiplets: fault_count,
+            single_network: single / self.trials as f64,
+            dual_network: dual / self.trials as f64,
+        }
+    }
+}
+
+/// Computes single- and dual-network disconnected fractions in one pass
+/// (round-trip semantics, unordered pairs).
+fn both_fractions(faults: &FaultMap, oracle: &SegmentOracle) -> (f64, f64) {
+    let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+    if healthy.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let mut single = 0u64;
+    let mut dual = 0u64;
+    let mut total = 0u64;
+    for (i, &s) in healthy.iter().enumerate() {
+        for &d in &healthy[i + 1..] {
+            total += 1;
+            let forward = oracle.xy_connected(s, d);
+            let backward = oracle.xy_connected(d, s);
+            if !(forward && backward) {
+                single += 1;
+                // Dual scheme: either L works for the round trip (the
+                // reverse XY path is physically the YX path of s→d).
+                if !forward && !backward {
+                    dual += 1;
+                }
+            }
+        }
+    }
+    (single as f64 / total as f64, dual as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{path_is_healthy, NetworkKind};
+    use wsp_common::seeded_rng;
+
+    #[test]
+    fn clean_wafer_is_fully_connected() {
+        let clean = FaultMap::none(TileArray::new(16, 16));
+        assert_eq!(disconnected_fraction(&clean, RoutingScheme::SingleXy), 0.0);
+        assert_eq!(disconnected_fraction(&clean, RoutingScheme::DualXyYx), 0.0);
+    }
+
+    #[test]
+    fn oracle_matches_explicit_path_walk() {
+        // The O(1) oracle must agree with walking the actual DoR path.
+        let array = TileArray::new(12, 12);
+        let mut rng = seeded_rng(31);
+        for _ in 0..20 {
+            let faults = FaultMap::sample_uniform(array, 10, &mut rng);
+            let oracle = SegmentOracle::new(&faults);
+            for s in array.tiles() {
+                for d in [
+                    TileCoord::new(0, 0),
+                    TileCoord::new(11, 11),
+                    TileCoord::new(5, 7),
+                    TileCoord::new(s.y % 12, s.x % 12),
+                ] {
+                    assert_eq!(
+                        oracle.xy_connected(s, d),
+                        path_is_healthy(&faults, s, d, NetworkKind::Xy),
+                        "XY mismatch {s}→{d}"
+                    );
+                    assert_eq!(
+                        oracle.yx_connected(s, d),
+                        path_is_healthy(&faults, s, d, NetworkKind::Yx),
+                        "YX mismatch {s}→{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_never_worse_than_single() {
+        let array = TileArray::new(16, 16);
+        let mut rng = seeded_rng(8);
+        for faults in (0..10).map(|_| FaultMap::sample_uniform(array, 6, &mut rng)) {
+            let s = disconnected_fraction(&faults, RoutingScheme::SingleXy);
+            let d = disconnected_fraction(&faults, RoutingScheme::DualXyYx);
+            assert!(d <= s, "dual {d} worse than single {s}");
+        }
+    }
+
+    #[test]
+    fn fig6_shape_at_five_faults() {
+        // Paper: with 5 faulty chiplets on the 32×32 wafer, a single DoR
+        // network disconnects >12 % of pairs; two networks keep it <2 %.
+        let sweep = ConnectivitySweep::paper_sweep(30);
+        let mut rng = seeded_rng(42);
+        let points = sweep.run(&[5], &mut rng);
+        let p = points[0];
+        assert!(
+            p.single_network > 0.12,
+            "single-network disconnection {:.3} too low (paper: >12%)",
+            p.single_network
+        );
+        assert!(
+            p.dual_network < 0.02,
+            "dual-network disconnection {:.3} too high",
+            p.dual_network
+        );
+        assert!(p.single_network / p.dual_network > 5.0);
+    }
+
+    #[test]
+    fn disconnection_grows_with_fault_count() {
+        let sweep = ConnectivitySweep::new(TileArray::new(32, 32), 10);
+        let mut rng = seeded_rng(11);
+        let points = sweep.run(&[1, 3, 5, 8], &mut rng);
+        for w in points.windows(2) {
+            assert!(w[1].single_network >= w[0].single_network);
+            assert!(w[1].dual_network >= w[0].dual_network);
+        }
+    }
+
+    #[test]
+    fn residual_dual_disconnections_concentrate_on_colinear_pairs() {
+        // Sec. VI: "The paths that still get disconnected with two DoR
+        // networks mostly connect those pairs of chiplets that are in the
+        // same row/column." Colinear pairs share a single physical path on
+        // both networks, so their per-pair disconnection *rate* is far
+        // higher; and with one fault they are the only residuals, because
+        // the XY and YX paths of a non-colinear pair only intersect at the
+        // endpoints.
+        let array = TileArray::new(32, 32);
+        let mut rng = seeded_rng(17);
+        let mut colinear_dead = 0u64;
+        let mut colinear_total = 0u64;
+        let mut other_dead = 0u64;
+        let mut other_total = 0u64;
+        for _ in 0..10 {
+            let faults = FaultMap::sample_uniform(array, 5, &mut rng);
+            let oracle = SegmentOracle::new(&faults);
+            let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+            for &s in &healthy {
+                for &d in &healthy {
+                    if s == d {
+                        continue;
+                    }
+                    let dead = !oracle.xy_connected(s, d) && !oracle.yx_connected(s, d);
+                    if s.is_colinear_with(d) {
+                        colinear_total += 1;
+                        colinear_dead += dead as u64;
+                    } else {
+                        other_total += 1;
+                        other_dead += dead as u64;
+                    }
+                }
+            }
+        }
+        let colinear_rate = colinear_dead as f64 / colinear_total as f64;
+        let other_rate = other_dead as f64 / other_total as f64;
+        assert!(
+            colinear_rate > 3.0 * other_rate,
+            "colinear rate {colinear_rate:.4} vs non-colinear rate {other_rate:.4}"
+        );
+    }
+
+    #[test]
+    fn single_fault_residuals_are_exclusively_colinear() {
+        // With exactly one interior fault, a non-colinear pair always has
+        // one healthy path (the two DoR paths only share the endpoints).
+        let array = TileArray::new(16, 16);
+        let mut rng = seeded_rng(29);
+        for _ in 0..10 {
+            let faults = FaultMap::sample_uniform(array, 1, &mut rng);
+            let oracle = SegmentOracle::new(&faults);
+            let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+            for &s in &healthy {
+                for &d in &healthy {
+                    if s == d {
+                        continue;
+                    }
+                    if !oracle.xy_connected(s, d) && !oracle.yx_connected(s, d) {
+                        assert!(
+                            s.is_colinear_with(d),
+                            "non-colinear pair {s}→{d} disconnected by one fault"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_point_is_deterministic() {
+        let sweep = ConnectivitySweep::new(TileArray::new(16, 16), 5);
+        let a = sweep.run_point(4, 99);
+        let b = sweep.run_point(4, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.faulty_chiplets, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = ConnectivitySweep::new(TileArray::new(8, 8), 0);
+    }
+
+    #[test]
+    fn display_names_schemes() {
+        assert_eq!(RoutingScheme::SingleXy.to_string(), "single DoR network");
+        assert_eq!(RoutingScheme::DualXyYx.to_string(), "two DoR networks");
+    }
+}

@@ -1,0 +1,317 @@
+//! Odd-even turn-model adaptive routing — the paper's named future-work
+//! upgrade (Sec. VI: "In the future, we will incorporate sophisticated
+//! routing schemes [18, 19] for improved waferscale fault tolerance").
+//!
+//! Paper reference 18 is Wu's fault-tolerant, deadlock-free routing for 2-D
+//! meshes built on the odd-even turn model (after Chiu): instead of fixing
+//! the dimension order, routing stays *adaptive* but prohibits two turn
+//! types per column parity, which provably breaks all cycles:
+//!
+//! * **Rule 1** — no east→north (EN) and no east→south (ES) turns at
+//!   tiles in *even* columns;
+//! * **Rule 2** — no north→west (NW) and no south→west (SW) turns at
+//!   tiles in *odd* columns.
+//!
+//! Any path whose every turn obeys the rules is deadlock-free, so a
+//! fault-tolerant router may search among *all* rule-abiding paths —
+//! including non-minimal ones — and reconnects many of the pairs the
+//! dual-DoR scheme loses.
+
+use std::collections::VecDeque;
+
+use wsp_topo::{Direction, FaultMap, TileCoord, DIRECTIONS};
+
+/// Whether a turn from travelling `from` to travelling `to` is permitted
+/// at tile `at` under the odd-even rules.
+///
+/// Straight-through and U-turn-free movement is always allowed (U-turns
+/// are categorically forbidden in turn models).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_noc::oddeven::turn_allowed;
+/// use wsp_topo::{Direction, TileCoord};
+///
+/// // EN turn at an even column: forbidden.
+/// assert!(!turn_allowed(TileCoord::new(2, 5), Direction::East, Direction::North));
+/// // Same turn at an odd column: fine.
+/// assert!(turn_allowed(TileCoord::new(3, 5), Direction::East, Direction::North));
+/// ```
+pub fn turn_allowed(at: TileCoord, from: Direction, to: Direction) -> bool {
+    use Direction::*;
+    if to == from.opposite() {
+        return false; // no U-turns
+    }
+    if to == from {
+        return true; // straight through
+    }
+    let even_column = at.x % 2 == 0;
+    match (from, to) {
+        // Rule 1: EN and ES forbidden in even columns.
+        (East, North) | (East, South) => !even_column,
+        // Rule 2: NW and SW forbidden in odd columns.
+        (North, West) | (South, West) => even_column,
+        // All other turns (WN, WS, NE, SE) are always allowed.
+        _ => true,
+    }
+}
+
+/// Finds a deadlock-free path from `from` to `to` over healthy tiles,
+/// obeying the odd-even turn rules, allowing non-minimal detours up to
+/// `max_hops` total hops. Returns the tile sequence (endpoints included),
+/// or `None` when no rule-abiding path exists within the bound.
+///
+/// The search is a BFS over `(tile, incoming direction)` states, so the
+/// returned path is hop-minimal *among rule-abiding paths*.
+///
+/// # Panics
+///
+/// Panics if either endpoint lies outside the fault map's array.
+pub fn route_odd_even(
+    faults: &FaultMap,
+    from: TileCoord,
+    to: TileCoord,
+    max_hops: u32,
+) -> Option<Vec<TileCoord>> {
+    if faults.is_faulty(from) || faults.is_faulty(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let array = faults.array();
+    // State: (tile index, incoming direction index). Direction 4 is the
+    // virtual "injected here" state with no incoming direction.
+    let states = array.tile_count() * 5;
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; states];
+    let mut dist: Vec<u32> = vec![u32::MAX; states];
+    let start = array.index_of(from) * 5 + 4;
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+
+    while let Some(state) = queue.pop_front() {
+        let tile_idx = state / 5;
+        let in_dir = state % 5;
+        let tile = array.coord_of(tile_idx);
+        let hops = dist[state];
+        if hops >= max_hops {
+            continue;
+        }
+        for out in DIRECTIONS {
+            // Injection can leave in any direction; in-flight packets
+            // must obey the turn rules.
+            if in_dir < 4 && !turn_allowed(tile, DIRECTIONS[in_dir], out) {
+                continue;
+            }
+            let Some(nb) = array.neighbor(tile, out) else {
+                continue;
+            };
+            if faults.is_faulty(nb) {
+                continue;
+            }
+            let nb_state = array.index_of(nb) * 5 + out.index();
+            if dist[nb_state] != u32::MAX {
+                continue;
+            }
+            dist[nb_state] = hops + 1;
+            prev[nb_state] = Some((state, out.index()));
+            if nb == to {
+                // Reconstruct.
+                let mut path = vec![nb];
+                let mut cur = nb_state;
+                while let Some((p, _)) = prev[cur] {
+                    path.push(array.coord_of(p / 5));
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(nb_state);
+        }
+    }
+    None
+}
+
+/// Fraction of healthy-tile ordered pairs with no rule-abiding path under
+/// the odd-even adaptive router (the fault-tolerance upgrade's residual
+/// disconnection, comparable to [`crate::connectivity`]'s dual-DoR
+/// numbers).
+pub fn odd_even_disconnected_fraction(faults: &FaultMap, max_hops: u32) -> f64 {
+    let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+    if healthy.len() < 2 {
+        return 0.0;
+    }
+    let mut disconnected = 0u64;
+    let mut total = 0u64;
+    for &s in &healthy {
+        for &d in &healthy {
+            if s == d {
+                continue;
+            }
+            total += 1;
+            if route_odd_even(faults, s, d, max_hops).is_none() {
+                disconnected += 1;
+            }
+        }
+    }
+    disconnected as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsp_common::seeded_rng;
+    use wsp_topo::TileArray;
+
+    #[test]
+    fn turn_rules_match_the_model() {
+        use Direction::*;
+        let even = TileCoord::new(4, 3);
+        let odd = TileCoord::new(5, 3);
+        // Rule 1.
+        assert!(!turn_allowed(even, East, North));
+        assert!(!turn_allowed(even, East, South));
+        assert!(turn_allowed(odd, East, North));
+        assert!(turn_allowed(odd, East, South));
+        // Rule 2.
+        assert!(!turn_allowed(odd, North, West));
+        assert!(!turn_allowed(odd, South, West));
+        assert!(turn_allowed(even, North, West));
+        assert!(turn_allowed(even, South, West));
+        // Always-legal turns.
+        for at in [even, odd] {
+            assert!(turn_allowed(at, West, North));
+            assert!(turn_allowed(at, West, South));
+            assert!(turn_allowed(at, North, East));
+            assert!(turn_allowed(at, South, East));
+        }
+        // No U-turns, straight always fine.
+        assert!(!turn_allowed(even, East, West));
+        assert!(turn_allowed(even, East, East));
+    }
+
+    #[test]
+    fn routes_on_clean_mesh_are_minimal() {
+        let array = TileArray::new(8, 8);
+        let faults = FaultMap::none(array);
+        let mut rng = seeded_rng(1);
+        use rand::RngExt;
+        for _ in 0..50 {
+            let s = TileCoord::new(rng.random_range(0..8), rng.random_range(0..8));
+            let d = TileCoord::new(rng.random_range(0..8), rng.random_range(0..8));
+            let path = route_odd_even(&faults, s, d, 64).expect("clean mesh connects");
+            assert_eq!(path.len() as u32, s.manhattan_distance(d) + 1, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn paths_obey_turn_rules_everywhere() {
+        let array = TileArray::new(10, 10);
+        let mut rng = seeded_rng(2);
+        for _ in 0..20 {
+            let faults = FaultMap::sample_uniform(array, 12, &mut rng);
+            for s in faults.healthy_tiles().step_by(7) {
+                for d in faults.healthy_tiles().step_by(11) {
+                    if s == d {
+                        continue;
+                    }
+                    let Some(path) = route_odd_even(&faults, s, d, 60) else {
+                        continue;
+                    };
+                    // Health + legality of every hop and turn.
+                    for w in path.windows(2) {
+                        assert!(faults.is_healthy(w[1]));
+                        assert_eq!(w[0].manhattan_distance(w[1]), 1);
+                    }
+                    for w in path.windows(3) {
+                        let d1 = dir_between(w[0], w[1]);
+                        let d2 = dir_between(w[1], w[2]);
+                        assert!(
+                            turn_allowed(w[1], d1, d2),
+                            "illegal turn {d1}->{d2} at {} on {}->{}",
+                            w[1],
+                            s,
+                            d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn dir_between(a: TileCoord, b: TileCoord) -> Direction {
+        if b.x > a.x {
+            Direction::East
+        } else if b.x < a.x {
+            Direction::West
+        } else if b.y > a.y {
+            Direction::South
+        } else {
+            Direction::North
+        }
+    }
+
+    #[test]
+    fn adaptivity_routes_around_blocked_rows() {
+        // The colinear case the dual-DoR scheme loses: same row, fault in
+        // between. Odd-even detours around it.
+        let array = TileArray::new(8, 8);
+        let faults = FaultMap::from_faulty(array, [TileCoord::new(4, 3)]);
+        let s = TileCoord::new(0, 3);
+        let d = TileCoord::new(7, 3);
+        let path = route_odd_even(&faults, s, d, 32).expect("detour exists");
+        assert!(path.iter().all(|&t| faults.is_healthy(t)));
+        // Minimal detour is 2 extra hops.
+        assert_eq!(path.len() as u32, s.manhattan_distance(d) + 2 + 1);
+    }
+
+    #[test]
+    fn odd_even_beats_dual_dor_on_residual_disconnections() {
+        use crate::connectivity::{disconnected_fraction, RoutingScheme};
+        let array = TileArray::new(10, 10);
+        let mut rng = seeded_rng(3);
+        let mut oe_total = 0.0;
+        let mut dual_total = 0.0;
+        for _ in 0..5 {
+            let faults = FaultMap::sample_uniform(array, 6, &mut rng);
+            oe_total += odd_even_disconnected_fraction(&faults, 40);
+            dual_total += disconnected_fraction(&faults, RoutingScheme::DualXyYx);
+        }
+        assert!(
+            oe_total <= dual_total,
+            "odd-even {oe_total} worse than dual DoR {dual_total}"
+        );
+    }
+
+    #[test]
+    fn walled_tile_stays_unreachable() {
+        let array = TileArray::new(8, 8);
+        let centre = TileCoord::new(4, 4);
+        let ring: Vec<TileCoord> = array.neighbors(centre).collect();
+        let faults = FaultMap::from_faulty(array, ring);
+        assert!(route_odd_even(&faults, TileCoord::new(0, 0), centre, 1000).is_none());
+    }
+
+    #[test]
+    fn hop_budget_is_respected() {
+        let array = TileArray::new(8, 8);
+        let faults = FaultMap::none(array);
+        let s = TileCoord::new(0, 0);
+        let d = TileCoord::new(7, 7);
+        // Budget below the Manhattan distance: no path.
+        assert!(route_odd_even(&faults, s, d, 10).is_none());
+        assert!(route_odd_even(&faults, s, d, 14).is_some());
+    }
+
+    #[test]
+    fn degenerate_and_faulty_endpoints() {
+        let array = TileArray::new(4, 4);
+        let t = TileCoord::new(1, 1);
+        let clean = FaultMap::none(array);
+        assert_eq!(route_odd_even(&clean, t, t, 10), Some(vec![t]));
+        let dead = FaultMap::from_faulty(array, [t]);
+        assert!(route_odd_even(&dead, t, TileCoord::new(0, 0), 10).is_none());
+        assert!(route_odd_even(&dead, TileCoord::new(0, 0), t, 10).is_none());
+    }
+}

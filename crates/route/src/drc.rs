@@ -1,0 +1,213 @@
+//! Design-rule checking of a routed substrate.
+//!
+//! An independent verification pass over a [`RouteReport`]: it recomputes
+//! boundary occupancy from scratch and re-derives the reticle-stitching
+//! classification, so a router bug cannot vouch for itself.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use wsp_topo::ReticleGrid;
+
+use crate::netlist::NetEndpoint;
+use crate::router::{BoundaryKey, Layer, RouteReport, RouterConfig};
+
+/// A design-rule violation found by [`check_route`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrcViolation {
+    /// Two nets occupy overlapping track intervals on a boundary.
+    TrackOverlap {
+        /// The boundary.
+        boundary: BoundaryKey,
+        /// The layer.
+        layer: Layer,
+        /// The two offending net ids.
+        nets: (u32, u32),
+    },
+    /// A net extends beyond the boundary's track capacity.
+    OverCapacity {
+        /// The boundary.
+        boundary: BoundaryKey,
+        /// The layer.
+        layer: Layer,
+        /// The offending net id.
+        net: u32,
+        /// Track index one past the net's last track.
+        end: u32,
+        /// The boundary capacity.
+        capacity: u32,
+    },
+    /// A net crossing a reticle boundary was not drawn with the fat-wire
+    /// rule (or vice versa).
+    FatRuleMismatch {
+        /// The offending net id.
+        net: u32,
+        /// Whether the net actually crosses a stitching boundary.
+        crosses_reticle: bool,
+    },
+    /// An essential net was placed on layer 2.
+    EssentialOffLayer1 {
+        /// The offending net id.
+        net: u32,
+    },
+}
+
+impl fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrcViolation::TrackOverlap { boundary, layer, nets } => write!(
+                f,
+                "nets {} and {} overlap on {boundary:?} ({layer})",
+                nets.0, nets.1
+            ),
+            DrcViolation::OverCapacity {
+                boundary,
+                layer,
+                net,
+                end,
+                capacity,
+            } => write!(
+                f,
+                "net {net} ends at track {end} beyond capacity {capacity} on {boundary:?} ({layer})"
+            ),
+            DrcViolation::FatRuleMismatch {
+                net,
+                crosses_reticle,
+            } => write!(
+                f,
+                "net {net} fat-wire flag inconsistent (crosses reticle boundary: {crosses_reticle})"
+            ),
+            DrcViolation::EssentialOffLayer1 { net } => {
+                write!(f, "essential net {net} routed off layer 1")
+            }
+        }
+    }
+}
+
+/// Independently verifies a route against the design rules.
+///
+/// Returns all violations found (empty = DRC-clean).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_route::{check_route, LayerMode, RouterConfig, WaferNetlist};
+/// use wsp_topo::TileArray;
+///
+/// let array = TileArray::new(8, 8);
+/// let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
+/// let report = config.route(&WaferNetlist::generate(array))?;
+/// assert!(check_route(&report, &config).is_empty());
+/// # Ok::<(), wsp_route::RouteError>(())
+/// ```
+pub fn check_route(report: &RouteReport, config: &RouterConfig) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    let grid = ReticleGrid::paper_grid(config.array());
+
+    // Recompute occupancy per (boundary, layer).
+    let mut occupancy: HashMap<(BoundaryKey, Layer), Vec<(u32, u32, u32)>> = HashMap::new();
+    for r in report.routed() {
+        let end = r.track_start + r.net.width;
+        for b in &r.boundaries {
+            let cap = config.capacity(*b);
+            if end > cap {
+                violations.push(DrcViolation::OverCapacity {
+                    boundary: *b,
+                    layer: r.layer,
+                    net: r.net.id,
+                    end,
+                    capacity: cap,
+                });
+            }
+            occupancy
+                .entry((*b, r.layer))
+                .or_default()
+                .push((r.track_start, end, r.net.id));
+        }
+
+        // Layer rule.
+        if r.net.class.is_essential() && r.layer != Layer::L1 {
+            violations.push(DrcViolation::EssentialOffLayer1 { net: r.net.id });
+        }
+
+        // Fat-wire rule (re-derived from geometry).
+        let crosses = match (r.net.from, r.net.to) {
+            (NetEndpoint::Tile(a), NetEndpoint::Tile(b)) => grid.crosses_boundary(a, b),
+            _ => true,
+        };
+        if crosses != r.fat {
+            violations.push(DrcViolation::FatRuleMismatch {
+                net: r.net.id,
+                crosses_reticle: crosses,
+            });
+        }
+    }
+
+    // Overlap check.
+    for ((boundary, layer), mut intervals) in occupancy {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            if w[0].1 > w[1].0 {
+                violations.push(DrcViolation::TrackOverlap {
+                    boundary,
+                    layer,
+                    nets: (w[0].2, w[1].2),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::WaferNetlist;
+    use crate::router::LayerMode;
+    use wsp_topo::TileArray;
+
+    #[test]
+    fn clean_route_passes_drc() {
+        for mode in [LayerMode::DualLayer, LayerMode::SingleLayer] {
+            let array = TileArray::new(16, 16);
+            let config = RouterConfig::paper_config(array, mode);
+            let report = config.route(&WaferNetlist::generate(array)).expect("ok");
+            let violations = check_route(&report, &config);
+            assert!(violations.is_empty(), "{mode:?}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn full_wafer_route_passes_drc() {
+        let array = TileArray::new(32, 32);
+        let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
+        let report = config.route(&WaferNetlist::generate(array)).expect("ok");
+        assert!(check_route(&report, &config).is_empty());
+    }
+
+    #[test]
+    fn drc_catches_capacity_reduction_after_routing() {
+        // Route with generous capacity, then check against a *tighter*
+        // config: the independent checker must flag over-capacity nets.
+        let array = TileArray::new(8, 8);
+        let generous = RouterConfig::paper_config(array, LayerMode::DualLayer);
+        let report = generous.route(&WaferNetlist::generate(array)).expect("ok");
+        let tight = generous.with_vertical_tracks(100);
+        let violations = check_route(&report, &tight);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, DrcViolation::OverCapacity { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = DrcViolation::EssentialOffLayer1 { net: 12 };
+        assert!(v.to_string().contains("net 12"));
+        let v = DrcViolation::FatRuleMismatch {
+            net: 3,
+            crosses_reticle: true,
+        };
+        assert!(v.to_string().contains("fat-wire"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Textual export of a routed substrate.
+//!
+//! The paper's flow hands the routed substrate to mask generation; our
+//! equivalent is a deterministic, diff-friendly text dump (one line per
+//! net, DEF-like in spirit) that downstream tooling — or a human hunting
+//! a routing bug — can consume. The format round-trips through
+//! [`parse_route_dump`] so golden files can be checked structurally.
+
+use std::fmt::Write as _;
+
+use wsp_topo::TileCoord;
+
+use crate::netlist::NetEndpoint;
+use crate::router::{Layer, RouteReport, RoutedNet};
+
+/// Serialises a route report to the text dump format.
+///
+/// One header line, then one line per routed net:
+/// `NET <id> <class> <from> -> <to> LAYER <n> TRACKS <start>..<end> LEN <mm> [FAT]`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_route::{export_route_dump, LayerMode, RouterConfig, WaferNetlist};
+/// use wsp_topo::TileArray;
+///
+/// let array = TileArray::new(4, 4);
+/// let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
+/// let report = config.route(&WaferNetlist::generate(array))?;
+/// let dump = export_route_dump(&report);
+/// assert!(dump.starts_with("ROUTEDUMP"));
+/// # Ok::<(), wsp_route::RouteError>(())
+/// ```
+pub fn export_route_dump(report: &RouteReport) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "ROUTEDUMP v1 nets={} failed={} dropped={}",
+        report.routed().len(),
+        report.failed().len(),
+        report.dropped().len()
+    )
+    .expect("write to string");
+    for r in report.routed() {
+        let layer = match r.layer {
+            Layer::L1 => 1,
+            Layer::L2 => 2,
+        };
+        writeln!(
+            out,
+            "NET {} {} {} -> {} LAYER {} TRACKS {}..{} LEN {:.3}{}",
+            r.net.id,
+            class_token(r),
+            endpoint_token(r.net.from),
+            endpoint_token(r.net.to),
+            layer,
+            r.track_start,
+            r.track_start + r.net.width,
+            r.length_mm,
+            if r.fat { " FAT" } else { "" }
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+fn class_token(r: &RoutedNet) -> String {
+    format!("{:?}", r.net.class).to_lowercase()
+}
+
+fn endpoint_token(e: NetEndpoint) -> String {
+    match e {
+        NetEndpoint::Tile(t) => format!("T{}_{}", t.x, t.y),
+        NetEndpoint::WaferEdge(t) => format!("E{}_{}", t.x, t.y),
+    }
+}
+
+/// A parsed line of the dump (structural subset — enough for golden-file
+/// verification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpEntry {
+    /// Net id.
+    pub id: u32,
+    /// Layer number (1 or 2).
+    pub layer: u8,
+    /// Track interval `[start, end)`.
+    pub tracks: (u32, u32),
+    /// Fat-wire flag.
+    pub fat: bool,
+    /// Source endpoint coordinate.
+    pub from: TileCoord,
+}
+
+/// Parses a dump produced by [`export_route_dump`].
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed line.
+pub fn parse_route_dump(dump: &str) -> Result<Vec<DumpEntry>, String> {
+    let mut lines = dump.lines();
+    let header = lines.next().ok_or("empty dump")?;
+    if !header.starts_with("ROUTEDUMP v1") {
+        return Err(format!("bad header: {header}"));
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.first() != Some(&"NET") {
+            return Err(format!("unexpected line: {line}"));
+        }
+        let id: u32 = tokens
+            .get(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad net id in: {line}"))?;
+        let from = tokens
+            .get(3)
+            .and_then(|t| parse_endpoint(t))
+            .ok_or_else(|| format!("bad endpoint in: {line}"))?;
+        let layer_pos = tokens
+            .iter()
+            .position(|&t| t == "LAYER")
+            .ok_or_else(|| format!("missing LAYER in: {line}"))?;
+        let layer: u8 = tokens
+            .get(layer_pos + 1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad layer in: {line}"))?;
+        let tracks_pos = tokens
+            .iter()
+            .position(|&t| t == "TRACKS")
+            .ok_or_else(|| format!("missing TRACKS in: {line}"))?;
+        let tracks_str = tokens
+            .get(tracks_pos + 1)
+            .ok_or_else(|| format!("missing track range in: {line}"))?;
+        let (lo, hi) = tracks_str
+            .split_once("..")
+            .ok_or_else(|| format!("bad track range in: {line}"))?;
+        let tracks = (
+            lo.parse().map_err(|_| format!("bad track start: {line}"))?,
+            hi.parse().map_err(|_| format!("bad track end: {line}"))?,
+        );
+        let fat = tokens.last() == Some(&"FAT");
+        entries.push(DumpEntry {
+            id,
+            layer,
+            tracks,
+            fat,
+            from,
+        });
+    }
+    Ok(entries)
+}
+
+fn parse_endpoint(token: &str) -> Option<TileCoord> {
+    let rest = token.strip_prefix('T').or_else(|| token.strip_prefix('E'))?;
+    let (x, y) = rest.split_once('_')?;
+    Some(TileCoord::new(x.parse().ok()?, y.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::WaferNetlist;
+    use crate::router::{LayerMode, RouterConfig};
+    use wsp_topo::TileArray;
+
+    fn routed(n: u16) -> RouteReport {
+        let array = TileArray::new(n, n);
+        RouterConfig::paper_config(array, LayerMode::DualLayer)
+            .route(&WaferNetlist::generate(array))
+            .expect("routes")
+    }
+
+    #[test]
+    fn dump_round_trips_structurally() {
+        let report = routed(8);
+        let dump = export_route_dump(&report);
+        let entries = parse_route_dump(&dump).expect("parses");
+        assert_eq!(entries.len(), report.routed().len());
+        for (entry, r) in entries.iter().zip(report.routed()) {
+            assert_eq!(entry.id, r.net.id);
+            assert_eq!(entry.tracks, (r.track_start, r.track_start + r.net.width));
+            assert_eq!(entry.fat, r.fat);
+            let expected_layer = match r.layer {
+                Layer::L1 => 1,
+                Layer::L2 => 2,
+            };
+            assert_eq!(entry.layer, expected_layer);
+        }
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        assert_eq!(export_route_dump(&routed(4)), export_route_dump(&routed(4)));
+    }
+
+    #[test]
+    fn header_carries_summary_counts() {
+        let report = routed(4);
+        let dump = export_route_dump(&report);
+        let header = dump.lines().next().expect("header");
+        assert!(header.contains(&format!("nets={}", report.routed().len())));
+        assert!(header.contains("failed=0"));
+    }
+
+    #[test]
+    fn fat_flag_appears_for_reticle_crossings() {
+        // A 32-wide wafer spans reticle columns; some nets must be FAT.
+        let report = routed(16);
+        let dump = export_route_dump(&report);
+        assert!(dump.lines().any(|l| l.ends_with("FAT")));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_route_dump("").is_err());
+        assert!(parse_route_dump("BOGUS header").is_err());
+        assert!(parse_route_dump("ROUTEDUMP v1 nets=1 failed=0 dropped=0\nJUNK").is_err());
+        assert!(
+            parse_route_dump("ROUTEDUMP v1 nets=1 failed=0 dropped=0\nNET x bad").is_err()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The intra-tile crossbar (the ARM BusMatrix of the silicon, Sec. II).
+//!
+//! All fourteen cores, plus the network adapters, arbitrate through one
+//! crossbar onto the five memory-chiplet banks. Each bank accepts one
+//! access per cycle; contention shows up as core stall cycles. Fairness
+//! comes from the tile stepping its cores in rotating order, so the
+//! crossbar itself only has to track per-cycle bank occupancy.
+
+use std::fmt;
+
+use crate::memory::BANK_COUNT;
+
+/// Per-cycle bank arbiter.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_tile::Crossbar;
+///
+/// let mut xbar = Crossbar::new();
+/// xbar.begin_cycle();
+/// assert!(xbar.request(0)); // first access to bank 0 granted
+/// assert!(!xbar.request(0)); // second in the same cycle denied
+/// xbar.begin_cycle();
+/// assert!(xbar.request(0)); // next cycle: granted again
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    busy: [bool; BANK_COUNT],
+    grants: u64,
+    conflicts: u64,
+}
+
+impl Crossbar {
+    /// Creates an idle crossbar.
+    pub fn new() -> Self {
+        Crossbar {
+            busy: [false; BANK_COUNT],
+            grants: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Starts a new cycle: all bank ports become free.
+    pub fn begin_cycle(&mut self) {
+        self.busy = [false; BANK_COUNT];
+    }
+
+    /// Requests the given bank this cycle. Returns `true` (and occupies
+    /// the bank) if the port was free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is not a valid bank index.
+    pub fn request(&mut self, bank: usize) -> bool {
+        assert!(bank < BANK_COUNT, "bank {bank} out of range");
+        if self.busy[bank] {
+            self.conflicts += 1;
+            false
+        } else {
+            self.busy[bank] = true;
+            self.grants += 1;
+            true
+        }
+    }
+
+    /// Total granted accesses.
+    #[inline]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Total denied (conflicting) requests.
+    #[inline]
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+}
+
+impl Default for Crossbar {
+    fn default() -> Self {
+        Crossbar::new()
+    }
+}
+
+impl fmt::Display for Crossbar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crossbar: {} grants, {} conflicts",
+            self.grants, self.conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_access_per_bank_per_cycle() {
+        let mut xbar = Crossbar::new();
+        xbar.begin_cycle();
+        for bank in 0..BANK_COUNT {
+            assert!(xbar.request(bank));
+        }
+        for bank in 0..BANK_COUNT {
+            assert!(!xbar.request(bank));
+        }
+        assert_eq!(xbar.grants(), BANK_COUNT as u64);
+        assert_eq!(xbar.conflicts(), BANK_COUNT as u64);
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut xbar = Crossbar::new();
+        xbar.begin_cycle();
+        assert!(xbar.request(0));
+        assert!(xbar.request(1)); // different bank unaffected
+    }
+
+    #[test]
+    fn begin_cycle_frees_ports() {
+        let mut xbar = Crossbar::new();
+        xbar.begin_cycle();
+        assert!(xbar.request(2));
+        xbar.begin_cycle();
+        assert!(xbar.request(2));
+        assert_eq!(xbar.conflicts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_bank_rejected() {
+        let mut xbar = Crossbar::new();
+        xbar.begin_cycle();
+        let _ = xbar.request(BANK_COUNT);
+    }
+
+    #[test]
+    fn display_shows_counters() {
+        let mut xbar = Crossbar::new();
+        xbar.begin_cycle();
+        let _ = xbar.request(0);
+        assert_eq!(xbar.to_string(), "crossbar: 1 grants, 0 conflicts");
+    }
+}

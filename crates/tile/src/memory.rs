@@ -1,0 +1,228 @@
+//! The memory chiplet: five 128 KB SRAM banks (Sec. II).
+//!
+//! Four banks are mapped into the global shared address space (words
+//! interleaved across them so streaming accesses hit all four in
+//! parallel); the fifth is reachable only by this tile's cores and
+//! routers. Each bank has one port — one word per bank per cycle — which
+//! is the per-tile term of Table I's 6.144 TB/s aggregate shared-memory
+//! bandwidth.
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of SRAM banks on the memory chiplet.
+pub const BANK_COUNT: usize = 5;
+
+/// Bytes per bank (128 KB).
+pub const BANK_BYTES: usize = 128 * 1024;
+
+/// Number of banks in the global shared address space.
+pub const GLOBAL_BANKS: usize = 4;
+
+/// Size of the globally addressable region of one tile (4 × 128 KB).
+pub const GLOBAL_REGION_BYTES: usize = GLOBAL_BANKS * BANK_BYTES;
+
+/// Total capacity of the memory chiplet (640 KB).
+pub const TOTAL_BYTES: usize = BANK_COUNT * BANK_BYTES;
+
+/// Memory-access failure modes shared by the tile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMemoryError {
+    /// Address not 4-byte aligned.
+    Misaligned {
+        /// The offending byte address.
+        addr: u32,
+    },
+    /// Address outside the addressable region.
+    OutOfRange {
+        /// The offending byte address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for AccessMemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMemoryError::Misaligned { addr } => {
+                write!(f, "address {addr:#x} is not word aligned")
+            }
+            AccessMemoryError::OutOfRange { addr } => {
+                write!(f, "address {addr:#x} outside addressable memory")
+            }
+        }
+    }
+}
+
+impl Error for AccessMemoryError {}
+
+/// The five-bank memory chiplet of one tile.
+///
+/// Offsets `0..512 KiB` address the four global banks (word-interleaved);
+/// offsets `512..640 KiB` address the tile-local bank.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_tile::MemoryChiplet;
+///
+/// let mut mem = MemoryChiplet::new();
+/// mem.write_word(0x40, 123)?;
+/// assert_eq!(mem.read_word(0x40)?, 123);
+/// # Ok::<(), wsp_tile::AccessMemoryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryChiplet {
+    banks: Vec<Vec<u8>>,
+}
+
+impl MemoryChiplet {
+    /// Creates a zero-initialised memory chiplet.
+    pub fn new() -> Self {
+        MemoryChiplet {
+            banks: (0..BANK_COUNT).map(|_| vec![0u8; BANK_BYTES]).collect(),
+        }
+    }
+
+    /// The bank an offset maps to: global offsets word-interleave across
+    /// banks 0–3, local offsets go to bank 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for misaligned or out-of-range offsets.
+    pub fn bank_of(&self, offset: u32) -> Result<usize, AccessMemoryError> {
+        let (bank, _) = self.locate(offset)?;
+        Ok(bank)
+    }
+
+    /// Reads a word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for misaligned or out-of-range offsets.
+    pub fn read_word(&self, offset: u32) -> Result<u32, AccessMemoryError> {
+        let (bank, byte) = self.locate(offset)?;
+        let s = &self.banks[bank][byte..byte + 4];
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Writes a word at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for misaligned or out-of-range offsets.
+    pub fn write_word(&mut self, offset: u32, value: u32) -> Result<(), AccessMemoryError> {
+        let (bank, byte) = self.locate(offset)?;
+        self.banks[bank][byte..byte + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Maps an offset to `(bank, byte-within-bank)`.
+    fn locate(&self, offset: u32) -> Result<(usize, usize), AccessMemoryError> {
+        if offset % 4 != 0 {
+            return Err(AccessMemoryError::Misaligned { addr: offset });
+        }
+        let off = offset as usize;
+        if off + 4 <= GLOBAL_REGION_BYTES {
+            let word = off / 4;
+            let bank = word % GLOBAL_BANKS;
+            let byte = (word / GLOBAL_BANKS) * 4;
+            Ok((bank, byte))
+        } else if off >= GLOBAL_REGION_BYTES && off + 4 <= TOTAL_BYTES {
+            Ok((GLOBAL_BANKS, off - GLOBAL_REGION_BYTES))
+        } else {
+            Err(AccessMemoryError::OutOfRange { addr: offset })
+        }
+    }
+}
+
+impl Default for MemoryChiplet {
+    fn default() -> Self {
+        MemoryChiplet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_interleave_across_global_banks() {
+        let mem = MemoryChiplet::new();
+        assert_eq!(mem.bank_of(0).expect("ok"), 0);
+        assert_eq!(mem.bank_of(4).expect("ok"), 1);
+        assert_eq!(mem.bank_of(8).expect("ok"), 2);
+        assert_eq!(mem.bank_of(12).expect("ok"), 3);
+        assert_eq!(mem.bank_of(16).expect("ok"), 0);
+    }
+
+    #[test]
+    fn local_bank_region() {
+        let mem = MemoryChiplet::new();
+        assert_eq!(
+            mem.bank_of(GLOBAL_REGION_BYTES as u32).expect("ok"),
+            GLOBAL_BANKS
+        );
+        assert_eq!(mem.bank_of(TOTAL_BYTES as u32 - 4).expect("ok"), 4);
+    }
+
+    #[test]
+    fn read_write_round_trip_everywhere() {
+        let mut mem = MemoryChiplet::new();
+        for offset in [0u32, 4, 12, 100, 524288, 655356] {
+            mem.write_word(offset, offset ^ 0xABCD_1234).expect("write");
+        }
+        for offset in [0u32, 4, 12, 100, 524288, 655356] {
+            assert_eq!(mem.read_word(offset).expect("read"), offset ^ 0xABCD_1234);
+        }
+    }
+
+    #[test]
+    fn interleaved_words_do_not_alias() {
+        let mut mem = MemoryChiplet::new();
+        for w in 0..64u32 {
+            mem.write_word(w * 4, w).expect("write");
+        }
+        for w in 0..64u32 {
+            assert_eq!(mem.read_word(w * 4).expect("read"), w);
+        }
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let mem = MemoryChiplet::new();
+        assert_eq!(
+            mem.read_word(3),
+            Err(AccessMemoryError::Misaligned { addr: 3 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut mem = MemoryChiplet::new();
+        assert_eq!(
+            mem.write_word(TOTAL_BYTES as u32, 1),
+            Err(AccessMemoryError::OutOfRange {
+                addr: TOTAL_BYTES as u32
+            })
+        );
+    }
+
+    #[test]
+    fn capacity_constants_match_table1() {
+        // 5 banks × 128 KB = 640 KB per tile; 4 banks (512 KB) global.
+        assert_eq!(TOTAL_BYTES, 640 * 1024);
+        assert_eq!(GLOBAL_REGION_BYTES, 512 * 1024);
+        // Whole wafer: 1024 tiles × 512 KB global = 512 MB (Table I).
+        assert_eq!(1024 * GLOBAL_REGION_BYTES, 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn error_display_mentions_address() {
+        assert!(AccessMemoryError::Misaligned { addr: 7 }
+            .to_string()
+            .contains("0x7"));
+        assert!(AccessMemoryError::OutOfRange { addr: 0xA0000 }
+            .to_string()
+            .contains("outside"));
+    }
+}

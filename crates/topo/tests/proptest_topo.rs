@@ -1,0 +1,100 @@
+//! Property tests over the topology foundations.
+
+use proptest::prelude::*;
+use wsp_common::seeded_rng;
+use wsp_topo::{FaultMap, ReticleGrid, TileArray, TileCoord, DIRECTIONS};
+
+fn arb_array() -> impl Strategy<Value = TileArray> {
+    (1u16..=40, 1u16..=40).prop_map(|(c, r)| TileArray::new(c, r))
+}
+
+proptest! {
+    /// Linear index ↔ coordinate mapping is a bijection.
+    #[test]
+    fn index_coord_bijection(array in arb_array()) {
+        for (i, tile) in array.tiles().enumerate() {
+            prop_assert_eq!(array.index_of(tile), i);
+            prop_assert_eq!(array.coord_of(i), tile);
+        }
+    }
+
+    /// Neighbour relations are symmetric and stay in bounds.
+    #[test]
+    fn neighbors_are_symmetric(array in arb_array()) {
+        for tile in array.tiles() {
+            for dir in DIRECTIONS {
+                if let Some(nb) = array.neighbor(tile, dir) {
+                    prop_assert!(array.contains(nb));
+                    prop_assert_eq!(array.neighbor(nb, dir.opposite()), Some(tile));
+                }
+            }
+        }
+    }
+
+    /// Fault-map marking is exact: exactly the sampled tiles are faulty.
+    #[test]
+    fn sampled_faults_are_exact(seed in 0u64..1000, count in 0usize..64) {
+        let array = TileArray::new(8, 8);
+        let mut rng = seeded_rng(seed);
+        let map = FaultMap::sample_uniform(array, count, &mut rng);
+        prop_assert_eq!(map.fault_count(), count);
+        prop_assert_eq!(map.healthy_count(), 64 - count);
+        prop_assert_eq!(map.faulty_tiles().count(), count);
+        let via_flags = array.tiles().filter(|&t| map.is_faulty(t)).count();
+        prop_assert_eq!(via_flags, count);
+    }
+
+    /// Union of fault maps equals the set union of their fault sets.
+    #[test]
+    fn union_is_set_union(seed in 0u64..500) {
+        let array = TileArray::new(8, 8);
+        let mut rng = seeded_rng(seed);
+        let a = FaultMap::sample_uniform(array, 10, &mut rng);
+        let b = FaultMap::sample_uniform(array, 10, &mut rng);
+        let mut u = a.clone();
+        u.union_with(&b);
+        for t in array.tiles() {
+            prop_assert_eq!(u.is_faulty(t), a.is_faulty(t) || b.is_faulty(t));
+        }
+    }
+
+    /// Every tile belongs to exactly one reticle, and crossing counts are
+    /// consistent with reticle membership.
+    #[test]
+    fn reticle_tiling_partitions_the_wafer(array in arb_array()) {
+        let grid = ReticleGrid::paper_grid(array);
+        for tile in array.tiles() {
+            let r = grid.reticle_of(tile);
+            prop_assert!(r.x < grid.reticle_cols());
+            prop_assert!(r.y < grid.reticle_rows());
+        }
+        // Adjacent tiles cross a boundary iff their reticles differ.
+        for tile in array.tiles() {
+            for dir in DIRECTIONS {
+                if let Some(nb) = array.neighbor(tile, dir) {
+                    prop_assert_eq!(
+                        grid.crosses_boundary(tile, nb),
+                        grid.reticle_of(tile) != grid.reticle_of(nb)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Manhattan distance is a metric (symmetry + triangle inequality).
+    #[test]
+    fn manhattan_is_a_metric(
+        ax in 0u16..32, ay in 0u16..32,
+        bx in 0u16..32, by in 0u16..32,
+        cx in 0u16..32, cy in 0u16..32,
+    ) {
+        let a = TileCoord::new(ax, ay);
+        let b = TileCoord::new(bx, by);
+        let c = TileCoord::new(cx, cy);
+        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        prop_assert_eq!(a.manhattan_distance(a), 0);
+        prop_assert!(
+            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c)
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration: use the analysis crates the way the paper's
+//! authors did — to *choose* between design alternatives before building.
+//!
+//! Sweeps: supply voltage for the PDN, pillar redundancy for assembly,
+//! one vs two networks for fault tolerance, and chain count for test time.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use wsp_assembly::{BondingModel, RedundancyScheme};
+use wsp_common::units::{Hertz, Volts};
+use wsp_dft::TestSchedule;
+use wsp_noc::ConnectivitySweep;
+use wsp_pdn::{Ldo, PdnConfig};
+use wsp_topo::TileCoord;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Q1 (Sec. III): what edge supply voltage actually works? -------
+    println!("Q1: edge supply voltage vs centre-tile regulation");
+    let ldo = Ldo::paper_ldo();
+    for supply_mv in [1800, 2100, 2500, 3000] {
+        let supply = Volts::from_millivolts(f64::from(supply_mv));
+        let cfg = PdnConfig::new(
+            PdnConfig::paper_prototype().array(),
+            supply,
+            PdnConfig::PAPER_LOOP_SHEET_RESISTANCE,
+            wsp_common::units::Ohms::from_milliohms(1.0),
+            wsp_pdn::LoadModel::ConstantCurrent(PdnConfig::PAPER_TILE_CURRENT),
+            [true; 4],
+        );
+        let sol = cfg.solve()?;
+        let centre = sol.voltage_at(TileCoord::new(16, 16));
+        let ok = ldo.accepts_input(Volts(centre.value().min(2.5)));
+        println!(
+            "  {supply_mv} mV edge -> centre {:.2} V: LDO {}",
+            centre.value(),
+            if ok { "regulates" } else { "FAILS (below dropout)" }
+        );
+    }
+
+    // --- Q3 (Sec. V): how much pillar redundancy is enough? ------------
+    println!("\nQ3: pillars per pad vs expected faulty chiplets per wafer");
+    for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {
+        let m = BondingModel::paper_compute_chiplet(scheme);
+        println!(
+            "  {scheme}: chiplet yield {:.3}%, E[faulty]/2048 = {:.1}",
+            m.chiplet_yield() * 100.0,
+            m.expected_faulty_chiplets(2048)
+        );
+    }
+
+    // --- Q4 (Sec. VI): is one network enough? --------------------------
+    println!("\nQ4: % tile pairs losing round-trip connectivity (5 faults)");
+    let point = ConnectivitySweep::paper_sweep(50).run_point(5, 7);
+    println!(
+        "  single network: {:.1}%   two networks: {:.2}%",
+        point.single_network * 100.0,
+        point.dual_network * 100.0
+    );
+
+    // --- Q5 (Sec. VII): how many JTAG chains do we need? ---------------
+    println!("\nQ5: chains vs whole-wafer load time");
+    for chains in [1u32, 8, 32] {
+        let schedule = TestSchedule::new(chains, Hertz::from_megahertz(10.0), false);
+        let t = schedule.memory_load_time(TestSchedule::PAPER_TOTAL_LOAD_BYTES);
+        println!("  {chains:2} chains: {:.1} min", t.as_minutes());
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Fault-tolerance walkthrough: what happens to a wafer with a nasty
+//! fault pattern — clock forwarding around dead tiles, progressive JTAG
+//! localisation, and kernel network planning with relays.
+//!
+//! Run with `cargo run --example fault_tolerant_lifecycle`.
+
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_clock::ForwardingSim;
+use wsp_dft::ProgressiveUnroll;
+use wsp_noc::{NetworkChoice, RoutePlanner};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let array = TileArray::new(8, 8);
+
+    // A deliberately nasty pattern: one tile walled in on all four sides
+    // (unusable no matter what) plus a blocked row segment.
+    let walled = TileCoord::new(5, 3);
+    let faults = FaultMap::from_faulty(
+        array,
+        [
+            TileCoord::new(5, 2),
+            TileCoord::new(4, 3),
+            TileCoord::new(6, 3),
+            TileCoord::new(5, 4),
+            TileCoord::new(2, 6),
+        ],
+    );
+    println!("fault map ('X' = failed bond):\n{faults}");
+
+    // --- Clock setup (Sec. IV / Fig. 4) -------------------------------
+    let plan = ForwardingSim::new(faults.clone()).run([TileCoord::new(0, 0)])?;
+    println!("clock forwarding (G=generator, arrows=selected input):");
+    println!("{}", plan.to_ascii());
+    println!(
+        "clocked {}/{} tiles; unclocked: {:?}",
+        plan.clocked_count(),
+        array.tile_count(),
+        plan.unclocked_tiles().collect::<Vec<_>>()
+    );
+
+    // --- Progressive JTAG unrolling (Sec. VII / Fig. 10) --------------
+    for y in [3u16, 6] {
+        let outcome = ProgressiveUnroll::new(8, 32)
+            .run(|pos| faults.is_healthy(TileCoord::new(pos as u16, y)));
+        println!("row {y} chain: {outcome}");
+    }
+
+    // --- Kernel network planning (Sec. VI / Fig. 7) -------------------
+    let planner = RoutePlanner::new(faults.clone());
+    let pairs = [
+        (TileCoord::new(0, 0), TileCoord::new(7, 7)),
+        (TileCoord::new(0, 3), TileCoord::new(7, 3)), // blocked row
+        (TileCoord::new(1, 1), walled),               // unreachable
+    ];
+    for (s, d) in pairs {
+        match planner.choose(s, d) {
+            NetworkChoice::Direct(n) => println!("{s} -> {d}: direct on {n}"),
+            NetworkChoice::Relay { via, .. } => {
+                println!("{s} -> {d}: relayed via {via} (costs core cycles there)")
+            }
+            NetworkChoice::Disconnected => println!("{s} -> {d}: disconnected"),
+        }
+    }
+
+    // --- Full boot retires the walled-in tile --------------------------
+    let config = SystemConfig::with_array(array);
+    let mut system = WaferscaleSystem::with_faults(config, faults);
+    let mut rng = wsp_common::seeded_rng(9);
+    let report = system.boot(&mut rng)?;
+    println!("{report}");
+    assert!(system.faults().is_faulty(walled));
+    println!("walled-in tile {walled} was retired by the boot flow");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: assemble a waferscale system, boot it, and run a graph
+//! workload on the unified shared memory.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use waferscale::workload::{run_bfs, Graph, GraphKind};
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_topo::TileArray;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the system. The paper's prototype is 32x32 tiles; an
+    //    8x8 keeps the example fast (same architecture, FPGA-demo scale).
+    let config = SystemConfig::with_array(TileArray::new(8, 8));
+    println!("system: {config}");
+    println!(
+        "  {} cores, {} MB shared memory, {:.2} TB/s network",
+        config.total_cores(),
+        config.total_shared_memory() / (1024 * 1024),
+        config.network_bandwidth() / 1e12
+    );
+
+    // 2. Assemble the wafer. Chiplet bonding is stochastic: the dual
+    //    copper-pillar redundancy makes failures rare but not impossible.
+    let mut rng = wsp_common::seeded_rng(2024);
+    let mut system = WaferscaleSystem::assemble(config, &mut rng);
+    println!(
+        "assembled: {} of {} tiles bonded healthy",
+        system.faults().healthy_count(),
+        config.tile_count()
+    );
+
+    // 3. Boot: power-on analysis, clock forwarding from an edge tile,
+    //    JTAG fault localisation, program/data load.
+    let report = system.boot(&mut rng)?;
+    println!("{report}");
+
+    // 4. Run breadth-first search over the unified shared memory and
+    //    check the answer against a sequential reference.
+    let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 8 }, 5_000, &mut rng);
+    let (dist, stats) = run_bfs(&system, &graph, 0)?;
+    assert_eq!(dist, graph.reference_bfs(0), "distributed BFS must agree");
+    println!(
+        "BFS over {} vertices / {} edges: {stats}",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+    println!(
+        "  -> {:.0} MTEPS at {:.0} MHz",
+        stats.mteps(&config),
+        config.frequency().as_megahertz()
+    );
+    Ok(())
+}

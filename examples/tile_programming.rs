@@ -1,0 +1,52 @@
+//! Programming one tile directly: build a small kernel in the core ISA,
+//! broadcast it to all 14 cores (the SPMD idiom the JTAG broadcast mode
+//! exists for), and reduce the per-core results through shared memory.
+//!
+//! Run with `cargo run --example tile_programming`.
+
+use wsp_tile::isa::{Program, Reg};
+use wsp_tile::{Tile, CORES_PER_TILE, GLOBAL_BASE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Each core computes the sum 1..=N for its own N (passed in R2) and
+    // stores the result into shared memory slot `core_id`.
+    let kernel = Program::builder()
+        .ldi(Reg::R0, 0)
+        .mov(Reg::R3, Reg::R2) // N = core-specific argument
+        .ldi(Reg::R4, 0) // accumulator
+        .label("loop")
+        .add(Reg::R4, Reg::R4, Reg::R3)
+        .addi(Reg::R3, Reg::R3, -1)
+        .bne(Reg::R3, Reg::R0, "loop")
+        // shared[core_id * 4] = sum
+        .ldi(Reg::R5, GLOBAL_BASE)
+        .shl(Reg::R6, Reg::R1, 2)
+        .add(Reg::R5, Reg::R5, Reg::R6)
+        .st(Reg::R4, Reg::R5, 0)
+        .halt()
+        .build()?;
+
+    let mut tile = Tile::new();
+    tile.broadcast_program(&kernel);
+    for core in 0..CORES_PER_TILE {
+        tile.core_mut(core).set_reg(Reg::R1, core as u32); // core id
+        tile.core_mut(core).set_reg(Reg::R2, (core as u32 + 1) * 10); // N
+    }
+
+    let stats = tile.run_until_halt(1_000_000)?;
+    println!(
+        "tile ran {} cycles, retired {} instructions, {} shared accesses, {} bank conflicts",
+        stats.cycles, stats.retired, stats.shared_accesses, stats.bank_conflicts
+    );
+
+    let mut total = 0u64;
+    for core in 0..CORES_PER_TILE {
+        let sum = tile.read_shared_word(core as u32 * 4)?;
+        let n = (core as u32 + 1) * 10;
+        assert_eq!(sum, n * (n + 1) / 2, "core {core} result");
+        println!("  core {core:2}: sum 1..={n:3} = {sum}");
+        total += u64::from(sum);
+    }
+    println!("grand total across the tile: {total}");
+    Ok(())
+}

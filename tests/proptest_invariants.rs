@@ -1,0 +1,223 @@
+//! Property-based tests over the core invariants of the design flow.
+
+use proptest::prelude::*;
+use wsp_assembly::{BondingModel, RedundancyScheme};
+use wsp_clock::{DccUnit, DutyCycleModel, ForwardingSim, TileClock};
+use wsp_common::seeded_rng;
+use wsp_noc::{dor_path, path_is_healthy, NetworkKind, NetworkChoice, RoutePlanner};
+use wsp_route::{check_route, LayerMode, RouterConfig, WaferNetlist};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+/// Strategy: an array between 2x2 and 12x12 plus two tiles inside it.
+fn array_and_pair() -> impl Strategy<Value = (TileArray, TileCoord, TileCoord)> {
+    (2u16..=12, 2u16..=12).prop_flat_map(|(cols, rows)| {
+        (
+            Just(TileArray::new(cols, rows)),
+            (0..cols, 0..rows).prop_map(|(x, y)| TileCoord::new(x, y)),
+            (0..cols, 0..rows).prop_map(|(x, y)| TileCoord::new(x, y)),
+        )
+    })
+}
+
+proptest! {
+    /// DoR paths are minimal, axis-monotone, and stay in bounds.
+    #[test]
+    fn dor_paths_are_minimal_and_monotone(
+        (array, a, b) in array_and_pair(),
+        network in prop_oneof![Just(NetworkKind::Xy), Just(NetworkKind::Yx)],
+    ) {
+        let path = dor_path(a, b, network);
+        prop_assert_eq!(path.len() as u32, a.manhattan_distance(b) + 1);
+        prop_assert_eq!(path[0], a);
+        prop_assert_eq!(*path.last().expect("non-empty"), b);
+        for w in path.windows(2) {
+            prop_assert_eq!(w[0].manhattan_distance(w[1]), 1);
+            prop_assert!(array.contains(w[1]));
+        }
+        // Exactly one turn (or zero for colinear pairs): the path's
+        // direction changes at most once — the deadlock-freedom core.
+        let mut turns = 0;
+        for w in path.windows(3) {
+            let d1 = (i32::from(w[1].x) - i32::from(w[0].x), i32::from(w[1].y) - i32::from(w[0].y));
+            let d2 = (i32::from(w[2].x) - i32::from(w[1].x), i32::from(w[2].y) - i32::from(w[1].y));
+            if d1 != d2 {
+                turns += 1;
+            }
+        }
+        prop_assert!(turns <= 1, "DoR path took {} turns", turns);
+    }
+
+    /// The request path on one network reversed equals the response path
+    /// on the complementary network (Fig. 7's protocol invariant).
+    #[test]
+    fn response_retraces_request((_, a, b) in array_and_pair()) {
+        for network in [NetworkKind::Xy, NetworkKind::Yx] {
+            let mut forward = dor_path(a, b, network);
+            forward.reverse();
+            let response = dor_path(b, a, network.complement());
+            prop_assert_eq!(&forward, &response);
+        }
+    }
+
+    /// Dual-network connectivity is monotone: adding faults never
+    /// reconnects a pair, and the dual scheme never does worse than a
+    /// single network.
+    #[test]
+    fn connectivity_is_monotone_in_faults(
+        seed in 0u64..1000,
+        base_faults in 0usize..6,
+    ) {
+        let array = TileArray::new(12, 12);
+        let mut rng = seeded_rng(seed);
+        let faults = FaultMap::sample_uniform(array, base_faults, &mut rng);
+        let mut more = faults.clone();
+        more.union_with(&FaultMap::sample_uniform(array, 3, &mut rng));
+
+        for s in faults.healthy_tiles().take(20) {
+            for d in faults.healthy_tiles().take(20) {
+                if s == d { continue; }
+                for network in [NetworkKind::Xy, NetworkKind::Yx] {
+                    if !more.is_faulty(s) && !more.is_faulty(d)
+                        && path_is_healthy(&more, s, d, network) {
+                        prop_assert!(
+                            path_is_healthy(&faults, s, d, network),
+                            "fewer faults broke {}->{}", s, d
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The kernel planner only ever returns usable decisions: a Direct
+    /// choice has a healthy path; a Relay has two healthy legs.
+    #[test]
+    fn planner_choices_are_always_traversable(
+        seed in 0u64..500,
+        fault_count in 0usize..10,
+    ) {
+        let array = TileArray::new(8, 8);
+        let mut rng = seeded_rng(seed);
+        let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+        let planner = RoutePlanner::new(faults.clone());
+        let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+        for &s in healthy.iter().take(12) {
+            for &d in healthy.iter().rev().take(12) {
+                if s == d { continue; }
+                match planner.choose(s, d) {
+                    NetworkChoice::Direct(n) => {
+                        prop_assert!(path_is_healthy(&faults, s, d, n));
+                    }
+                    NetworkChoice::Relay { via, first, second } => {
+                        prop_assert!(faults.is_healthy(via));
+                        prop_assert!(path_is_healthy(&faults, s, via, first));
+                        prop_assert!(path_is_healthy(&faults, via, d, second));
+                    }
+                    NetworkChoice::Disconnected => {}
+                }
+            }
+        }
+    }
+
+    /// Clock forwarding reaches exactly the healthy tiles that are
+    /// graph-connected to the generator (the paper's induction argument).
+    #[test]
+    fn clock_reaches_exactly_the_connected_component(
+        seed in 0u64..500,
+        fault_count in 0usize..30,
+    ) {
+        let array = TileArray::new(10, 10);
+        let mut rng = seeded_rng(seed);
+        let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+        let Some(generator) = array.edge_tiles().find(|&t| faults.is_healthy(t)) else {
+            return Ok(());
+        };
+        let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+        // BFS ground truth.
+        let mut reach = vec![false; array.tile_count()];
+        let mut queue = std::collections::VecDeque::from([generator]);
+        reach[array.index_of(generator)] = true;
+        while let Some(t) = queue.pop_front() {
+            for nb in array.neighbors(t) {
+                let i = array.index_of(nb);
+                if faults.is_healthy(nb) && !reach[i] {
+                    reach[i] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        for tile in array.tiles() {
+            let clocked = matches!(
+                plan.state_of(tile),
+                TileClock::Generator | TileClock::Locked { .. }
+            );
+            prop_assert_eq!(clocked, reach[array.index_of(tile)], "tile {}", tile);
+        }
+    }
+
+    /// Duty-cycle distortion with inversion is bounded by one tile's
+    /// distortion for any magnitude and chain length.
+    #[test]
+    fn inverted_forwarding_is_always_bounded(
+        d in -0.4f64..0.4,
+        hops in 1u32..200,
+    ) {
+        let model = DutyCycleModel::new(d, true, None);
+        prop_assert!(model.worst_distortion(hops) <= d.abs() + 1e-9);
+        prop_assert_eq!(model.max_hops(hops), None);
+    }
+
+    /// DCC contraction: without inversion the distortion grows
+    /// monotonically towards the fixed point `e* = r·d/(1−r)`. When that
+    /// fixed point fits in the half-period the clock survives any chain
+    /// length with `worst ≤ e*`; when it does not, the clock eventually
+    /// dies — a *weak* corrector cannot save an arbitrarily bad chain.
+    #[test]
+    fn dcc_converges_to_its_fixed_point(
+        d in 0.01f64..0.3,
+        r in 0.0f64..0.95,
+    ) {
+        let model = DutyCycleModel::new(d, false, Some(DccUnit::new(r)));
+        let fixed_point = r * d / (1.0 - r);
+        if fixed_point < 0.4 {
+            prop_assert_eq!(model.max_hops(500), None);
+            prop_assert!(model.worst_distortion(500) <= fixed_point + 1e-9);
+        } else if fixed_point > 0.55 {
+            prop_assert!(model.max_hops(5000).is_some(),
+                "fixed point {} beyond the half-period must kill the clock", fixed_point);
+        }
+    }
+
+    /// Bonding yield: the dual-pillar scheme is never worse than single
+    /// pillar, for any pillar yield and pad count.
+    #[test]
+    fn redundancy_never_hurts(
+        yield_ppm in 900_000u32..1_000_000,
+        pads in 1u32..4000,
+    ) {
+        let y = f64::from(yield_ppm) / 1e6;
+        let single = BondingModel::new(y, RedundancyScheme::SinglePillar, pads);
+        let dual = BondingModel::new(y, RedundancyScheme::DualPillar, pads);
+        prop_assert!(dual.chiplet_yield() >= single.chiplet_yield());
+        prop_assert!(dual.pad_yield() >= single.pad_yield());
+    }
+
+    /// The substrate router is DRC-clean on every array size, and the
+    /// single-layer mode never drops an essential net.
+    #[test]
+    fn router_is_drc_clean_on_any_array(
+        cols in 2u16..16,
+        rows in 2u16..16,
+        single_layer in proptest::bool::ANY,
+    ) {
+        let array = TileArray::new(cols, rows);
+        let mode = if single_layer { LayerMode::SingleLayer } else { LayerMode::DualLayer };
+        let config = RouterConfig::paper_config(array, mode);
+        let report = config.route(&WaferNetlist::generate(array)).expect("routes");
+        prop_assert_eq!(report.failed_nets(), 0);
+        prop_assert!(check_route(&report, &config).is_empty());
+        for net in report.dropped() {
+            prop_assert!(!net.class.is_essential());
+        }
+    }
+}
