@@ -47,8 +47,7 @@ impl DefectModel {
     pub fn die_yield(&self, area: SquareMillimeters) -> f64 {
         assert!(area.value() > 0.0, "die area must be positive");
         let a_cm2 = area.value() / 100.0;
-        (1.0 + a_cm2 * self.defects_per_cm2 / self.clustering_alpha)
-            .powf(-self.clustering_alpha)
+        (1.0 + a_cm2 * self.defects_per_cm2 / self.clustering_alpha).powf(-self.clustering_alpha)
     }
 }
 

@@ -103,8 +103,14 @@ impl IoCell {
         esd_rating: Volts,
     ) -> Self {
         assert!(area_um2 > 0.0, "I/O cell area must be positive");
-        assert!(energy_per_bit.value() > 0.0, "energy per bit must be positive");
-        assert!(max_frequency.value() > 0.0, "max frequency must be positive");
+        assert!(
+            energy_per_bit.value() > 0.0,
+            "energy per bit must be positive"
+        );
+        assert!(
+            max_frequency.value() > 0.0,
+            "max frequency must be positive"
+        );
         assert!(
             max_link_length.value() > 0.0,
             "max link length must be positive"

@@ -219,7 +219,10 @@ mod tests {
         assert_eq!(report.assembled(), 1024);
         assert_eq!(report.tested(), 1500);
         assert_eq!(report.known_good() + report.discarded(), 1500);
-        assert_eq!(report.faults().fault_count() as u32, report.bonding_failures());
+        assert_eq!(
+            report.faults().fault_count() as u32,
+            report.bonding_failures()
+        );
     }
 
     #[test]

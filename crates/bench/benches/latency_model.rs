@@ -1,0 +1,65 @@
+//! Criterion bench: remote-access pricing in the multi-tile machine —
+//! the closed-form `LatencyModel::Analytic` estimate versus cycle-level
+//! execution on the shared NoC fabric — over a small stencil-style halo
+//! exchange (every tile reads a strip of its east neighbour's memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use waferscale::{LatencyModel, MultiTileMachine, SystemConfig};
+use wsp_tile::isa::{Program, Reg};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+const N: u16 = 4;
+const HALO_WORDS: u32 = 8;
+
+/// Builds the machine with every tile's first two cores summing a
+/// `HALO_WORDS`-word strip of the east neighbour's region (wrapping at
+/// the array edge) — the remote half of a block-row Jacobi step.
+fn stencil_machine(model: LatencyModel) -> MultiTileMachine {
+    let cfg = SystemConfig::with_array(TileArray::new(N, N)).with_latency_model(model);
+    let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+    for y in 0..N {
+        for x in 0..N {
+            let east = TileCoord::new((x + 1) % N, y);
+            for core in 0..2u32 {
+                let base = m.global_address(east, core * 64).expect("mapped");
+                let program = Program::builder()
+                    .ldi(Reg::R1, base)
+                    .ldi(Reg::R5, 0)
+                    .ldi(Reg::R3, HALO_WORDS)
+                    .ldi(Reg::R0, 0)
+                    .label("halo")
+                    .ld(Reg::R2, Reg::R1, 0)
+                    .add(Reg::R5, Reg::R5, Reg::R2)
+                    .addi(Reg::R1, Reg::R1, 4)
+                    .addi(Reg::R3, Reg::R3, -1)
+                    .bne(Reg::R3, Reg::R0, "halo")
+                    .halt()
+                    .build()
+                    .expect("builds");
+                m.load_program(TileCoord::new(x, y), core as usize, &program)
+                    .expect("loads");
+            }
+        }
+    }
+    m
+}
+
+fn bench_latency_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_stencil_exchange");
+    for (name, model) in [
+        ("analytic", LatencyModel::Analytic),
+        ("fabric", LatencyModel::Fabric),
+    ] {
+        group.bench_function(BenchmarkId::new("latency_model", name), |b| {
+            b.iter(|| {
+                let mut m = stencil_machine(model);
+                black_box(m.run_until_halt(1_000_000).expect("halts"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_models);
+criterion_main!(benches);

@@ -13,7 +13,8 @@ fn bench_noc_sim(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut rng = seeded_rng(3);
-                let mut sim = NocSim::new(FaultMap::none(TileArray::new(n, n)), SimConfig::default());
+                let mut sim =
+                    NocSim::new(FaultMap::none(TileArray::new(n, n)), SimConfig::default());
                 black_box(sim.run(TrafficPattern::UniformRandom, 200, &mut rng))
             });
         });

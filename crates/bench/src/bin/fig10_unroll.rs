@@ -22,7 +22,10 @@ fn main() {
         Some("14x fewer — \"the JTAG bit shifting latency reduces by 14x\""),
     );
 
-    header("Fig. 10", "progressive unrolling localises the faulty chiplet");
+    header(
+        "Fig. 10",
+        "progressive unrolling localises the faulty chiplet",
+    );
     let unroll = ProgressiveUnroll::new(32, 32);
     let outcome = unroll.run(|pos| pos != 20);
     result_line("chain length", unroll.chain_len(), Some("32 tiles per row"));
@@ -57,7 +60,12 @@ fn main() {
         "Sec. VII-B",
         "during-assembly testing: catch bad bonds early",
     );
-    row(&["bonded so far", "bond fault at", "caught at step", "KGD dies saved"]);
+    row(&[
+        "bonded so far",
+        "bond fault at",
+        "caught at step",
+        "KGD dies saved",
+    ]);
     for (bonded, fault) in [(8usize, 5usize), (16, 5), (24, 20), (32, 20)] {
         let outcome = ProgressiveUnroll::new(32, 32).run_partial(bonded, |pos| pos != fault);
         let caught = outcome.first_faulty();

@@ -12,7 +12,10 @@ fn main() {
     let cfg = PdnConfig::paper_prototype();
     let sol = cfg.solve().expect("PDN solve converges");
 
-    header("Fig. 2", "edge power delivery: voltage droop map at peak draw");
+    header(
+        "Fig. 2",
+        "edge power delivery: voltage droop map at peak draw",
+    );
     result_line(
         "edge tile voltage",
         format!("{:.2}", sol.voltage_at(TileCoord::new(0, 16))),
@@ -103,7 +106,13 @@ fn main() {
         "delivery-strategy trade-off (why edge delivery won)",
     );
     let chiplet_power = Watts(1024.0 * 0.35);
-    row(&["strategy", "efficiency", "area overhead", "array regular?", "ready?"]);
+    row(&[
+        "strategy",
+        "efficiency",
+        "area overhead",
+        "array regular?",
+        "ready?",
+    ]);
     for strategy in [
         DeliveryStrategy::paper_edge_ldo(),
         DeliveryStrategy::paper_on_wafer_conversion(),
@@ -127,13 +136,22 @@ fn main() {
         "200 mA load step vs decap sizing (LDO loop ~5 ns)",
     );
     row(&["decap", "min rail V", "in 1.0-1.2 V window?"]);
+    use wsp_common::units::{Amps, Farads, Seconds, Volts};
     use wsp_pdn::transient::{simulate_load_step, TransientConfig};
     use wsp_pdn::DecapBank;
-    use wsp_common::units::{Amps, Farads, Seconds, Volts};
     for (name, bank) in [
-        ("2 nF (undersized)", DecapBank::new(Farads::from_nanofarads(2.0), 0.05)),
-        ("20 nF on-chip (paper, 35% of tile)", DecapBank::paper_bank()),
-        ("100 nF deep-trench (future, footnote 2)", DecapBank::future_deep_trench_bank()),
+        (
+            "2 nF (undersized)",
+            DecapBank::new(Farads::from_nanofarads(2.0), 0.05),
+        ),
+        (
+            "20 nF on-chip (paper, 35% of tile)",
+            DecapBank::paper_bank(),
+        ),
+        (
+            "100 nF deep-trench (future, footnote 2)",
+            DecapBank::future_deep_trench_bank(),
+        ),
     ] {
         let result = simulate_load_step(
             TransientConfig::paper_config().with_decap(bank),

@@ -9,7 +9,10 @@ use wsp_common::seeded_rng;
 use wsp_topo::{FaultMap, TileArray};
 
 fn main() {
-    header("Fig. 4", "clock forwarding on an 8x8 array with 6 faulty tiles");
+    header(
+        "Fig. 4",
+        "clock forwarding on an 8x8 array with 6 faulty tiles",
+    );
     let (faults, isolated, generator) = fig4_scenario();
     let plan = ForwardingSim::new(faults)
         .run([generator])
@@ -23,7 +26,11 @@ fn main() {
             .join("\n")
     );
     println!("  (G generator, arrows = selected input side, X faulty, ? unclocked)");
-    result_line("clocked tiles", plan.clocked_count(), Some("57 of 58 healthy"));
+    result_line(
+        "clocked tiles",
+        plan.clocked_count(),
+        Some("57 of 58 healthy"),
+    );
     result_line(
         "unclocked healthy tile",
         format!("{isolated}"),
@@ -47,7 +54,9 @@ fn main() {
             let Some(generator) = array.edge_tiles().find(|&t| map.is_healthy(t)) else {
                 continue;
             };
-            let plan = ForwardingSim::new(map.clone()).run([generator]).expect("ok");
+            let plan = ForwardingSim::new(map.clone())
+                .run([generator])
+                .expect("ok");
             unclocked_total += plan.unclocked_tiles().count();
             healthy_total += map.healthy_count();
             trials += 1;

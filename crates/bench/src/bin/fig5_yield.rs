@@ -5,19 +5,22 @@
 //! Run with `cargo run -p wsp-bench --bin fig5_yield`.
 
 use wsp_assembly::{
-    compare_approaches, BondingModel, ChipletKind, DefectModel, IoCell, PadFrame,
-    RedundancyScheme,
+    compare_approaches, BondingModel, ChipletKind, DefectModel, IoCell, PadFrame, RedundancyScheme,
 };
-use wsp_common::units::SquareMillimeters;
 use wsp_bench::{header, result_line, row};
 use wsp_common::seeded_rng;
+use wsp_common::units::SquareMillimeters;
 use wsp_common::units::{Hertz, Micrometers};
 use wsp_topo::TileArray;
 
 fn main() {
     header("Sec. V", "I/O cell properties");
     let cell = IoCell::paper_cell();
-    result_line("I/O cell area", format!("{} um^2", cell.area_um2()), Some("~150 um^2"));
+    result_line(
+        "I/O cell area",
+        format!("{} um^2", cell.area_um2()),
+        Some("~150 um^2"),
+    );
     result_line(
         "energy per bit",
         format!("{:.3} pJ", cell.energy_per_bit().as_picojoules()),
@@ -33,7 +36,11 @@ fn main() {
         format!("{:.0}", cell.max_link_length()),
         Some("500 um"),
     );
-    result_line("ESD rating", format!("{:.0}", cell.esd_rating()), Some("100 V HBM"));
+    result_line(
+        "ESD rating",
+        format!("{:.0}", cell.esd_rating()),
+        Some("100 V HBM"),
+    );
     let frame = PadFrame::paper(ChipletKind::Compute);
     result_line(
         "total I/O area (compute chiplet)",
@@ -84,7 +91,10 @@ fn main() {
         None,
     );
 
-    header("Fig. 5 MC", "Monte-Carlo wafer assembly (1024 tiles, 50 wafers)");
+    header(
+        "Fig. 5 MC",
+        "Monte-Carlo wafer assembly (1024 tiles, 50 wafers)",
+    );
     row(&["scheme", "mean faulty tiles/wafer", "closed form"]);
     let array = TileArray::new(32, 32);
     for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {

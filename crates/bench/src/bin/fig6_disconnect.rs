@@ -2,7 +2,7 @@
 //! source-destination pairs versus the number of faulty chiplets, for a
 //! single dimension-ordered network versus the paper's two independent
 //! networks. Trials run in parallel across worker threads (one per fault
-//! count) via crossbeam scoped threads.
+//! count) via std scoped threads.
 //!
 //! Run with `cargo run --release -p wsp-bench --bin fig6_disconnect`.
 
@@ -19,22 +19,26 @@ fn main() {
         "avg % disconnected src-dst pairs vs # faulty chiplets (32x32)",
     );
     println!("  ({trials} random fault maps per point)");
-    row(&["faulty chiplets", "single DoR %", "dual DoR %", "improvement"]);
+    row(&[
+        "faulty chiplets",
+        "single DoR %",
+        "dual DoR %",
+        "improvement",
+    ]);
 
     // One worker per fault count; run_point is deterministic per
     // (seed, point) so the parallel sweep reproduces a serial one.
     let mut points = vec![None; fault_counts.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &count in &fault_counts {
             let sweep = &sweep;
-            handles.push((count, scope.spawn(move |_| sweep.run_point(count, 42))));
+            handles.push(scope.spawn(move || sweep.run_point(count, 42)));
         }
-        for (i, (_, handle)) in handles.into_iter().enumerate() {
+        for (i, handle) in handles.into_iter().enumerate() {
             points[i] = Some(handle.join().expect("worker completes"));
         }
-    })
-    .expect("scope completes");
+    });
 
     for point in points.into_iter().flatten() {
         let improvement = if point.dual_network > 0.0 {
@@ -69,10 +73,7 @@ fn main() {
         let trials = 10;
         for _ in 0..trials {
             let faults = wsp_topo::FaultMap::sample_uniform(array, count, &mut rng);
-            dual += wsp_noc::disconnected_fraction(
-                &faults,
-                wsp_noc::RoutingScheme::DualXyYx,
-            );
+            dual += wsp_noc::disconnected_fraction(&faults, wsp_noc::RoutingScheme::DualXyYx);
             oe += wsp_noc::odd_even_disconnected_fraction(&faults, 64);
         }
         row(&[

@@ -18,12 +18,7 @@ fn main() {
         "request/response on complementary networks: packet simulation",
     );
     row(&[
-        "scenario",
-        "requests",
-        "RTT mean",
-        "RTT max",
-        "relays",
-        "drained",
+        "scenario", "requests", "RTT mean", "RTT max", "relays", "drained",
     ]);
     let mut rng = seeded_rng(7);
     let scenarios: Vec<(&str, FaultMap)> = vec![
@@ -55,7 +50,12 @@ fn main() {
     }
 
     header("Fig. 7", "traffic-pattern latency/throughput (clean 16x16)");
-    row(&["pattern", "mean latency", "throughput pkt/cy", "backpressure"]);
+    row(&[
+        "pattern",
+        "mean latency",
+        "throughput pkt/cy",
+        "backpressure",
+    ]);
     for (name, pattern) in [
         ("uniform random", TrafficPattern::UniformRandom),
         ("transpose", TrafficPattern::Transpose),

@@ -45,7 +45,11 @@ fn main() {
             format!("{}", report.dropped().len()),
             format!("{:.1} m", report.total_wirelength_m()),
             format!("{}", report.fat_wires()),
-            format!("{}", if violations.is_empty() { "clean" } else { "VIOLATIONS" }),
+            if violations.is_empty() {
+                "clean".to_string()
+            } else {
+                "VIOLATIONS".to_string()
+            },
             format!("{:.1} ms", elapsed.as_secs_f64() * 1e3),
         ]);
         if mode == LayerMode::SingleLayer {

@@ -10,7 +10,10 @@ use wsp_bench::{header, result_line};
 fn main() {
     let cfg = SystemConfig::paper_prototype();
 
-    header("Table I", "salient features of the waferscale processor system");
+    header(
+        "Table I",
+        "salient features of the waferscale processor system",
+    );
     result_line("# compute chiplets", cfg.compute_chiplets(), Some("1024"));
     result_line("# memory chiplets", cfg.memory_chiplets(), Some("1024"));
     result_line("# cores per tile", cfg.cores_per_tile(), Some("14"));

@@ -16,7 +16,10 @@ fn main() {
     );
     result_line(
         "data loaded",
-        format!("{} MB (512 MB shared + 896 MB private)", bytes / (1024 * 1024)),
+        format!(
+            "{} MB (512 MB shared + 896 MB private)",
+            bytes / (1024 * 1024)
+        ),
         None,
     );
     row(&["chains", "TCK", "load time", "speedup"]);

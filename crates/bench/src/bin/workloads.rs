@@ -5,8 +5,7 @@
 //! Run with `cargo run --release -p wsp-bench --bin workloads`.
 
 use waferscale::workload::{
-    reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind,
-    StencilGrid,
+    reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind, StencilGrid,
 };
 use waferscale::{SystemConfig, WaferscaleSystem};
 use wsp_bench::{header, result_line, row};
@@ -15,13 +14,24 @@ use wsp_topo::{FaultMap, TileArray};
 
 fn main() {
     let mut rng = seeded_rng(1234);
-    let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 16 }, 20_000, &mut rng);
+    let graph = Graph::generate(
+        GraphKind::UniformRandom { avg_degree: 16 },
+        20_000,
+        &mut rng,
+    );
 
     header(
         "Sec. II",
         "BFS scaling across system sizes (20k vertices, 320k edges)",
     );
-    row(&["system", "cores", "cycles", "MTEPS", "remote msgs", "correct"]);
+    row(&[
+        "system",
+        "cores",
+        "cycles",
+        "MTEPS",
+        "remote msgs",
+        "correct",
+    ]);
     for n in [2u16, 4, 8, 16] {
         let cfg = SystemConfig::with_array(TileArray::new(n, n));
         let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
@@ -84,7 +94,13 @@ fn main() {
         "Sec. II / ref. [4]",
         "2-D Jacobi stencil scaling (256x256 grid, 100 iterations)",
     );
-    row(&["system", "cycles", "halo msgs/step", "wall time (ms)", "correct"]);
+    row(&[
+        "system",
+        "cycles",
+        "halo msgs/step",
+        "wall time (ms)",
+        "correct",
+    ]);
     let mut hot = StencilGrid::new(256, 256);
     for y in 0..256 {
         hot.set(0, y, 100.0);
@@ -106,8 +122,18 @@ fn main() {
         "Sec. VI x Sec. II",
         "fault tolerance: BFS on an 8x8 wafer as chiplets fail",
     );
-    row(&["faulty tiles", "usable cores", "cycles", "slowdown", "correct"]);
-    let g = Graph::generate(GraphKind::UniformRandom { avg_degree: 12 }, 10_000, &mut rng);
+    row(&[
+        "faulty tiles",
+        "usable cores",
+        "cycles",
+        "slowdown",
+        "correct",
+    ]);
+    let g = Graph::generate(
+        GraphKind::UniformRandom { avg_degree: 12 },
+        10_000,
+        &mut rng,
+    );
     let base_cfg = SystemConfig::with_array(TileArray::new(8, 8));
     let mut base_cycles = None;
     for faults_n in [0usize, 2, 4, 8] {

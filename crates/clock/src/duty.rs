@@ -150,7 +150,11 @@ impl DutyCycleModel {
             }
             trace.push(duty);
             // What this tile forwards: the (optionally inverted) clock.
-            line_duty = if self.invert_on_forward { 1.0 - duty } else { duty };
+            line_duty = if self.invert_on_forward {
+                1.0 - duty
+            } else {
+                duty
+            };
         }
         trace
     }

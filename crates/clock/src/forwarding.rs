@@ -278,7 +278,9 @@ impl ForwardingPlan {
         let array = self.array;
         let mut worst = 0;
         for tile in array.tiles() {
-            let Some(d) = self.depth_of(tile) else { continue };
+            let Some(d) = self.depth_of(tile) else {
+                continue;
+            };
             for nb in array.neighbors(tile) {
                 if let Some(nd) = self.depth_of(nb) {
                     worst = worst.max(d.abs_diff(nd));
@@ -357,7 +359,9 @@ mod tests {
     #[test]
     fn fig4_all_but_isolated_tile_receive_clock() {
         let (faults, isolated, generator) = fig4_scenario();
-        let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+        let plan = ForwardingSim::new(faults.clone())
+            .run([generator])
+            .expect("ok");
         // 64 tiles − 6 faulty − 1 isolated = 57 clocked.
         assert_eq!(plan.clocked_count(), 57);
         let unclocked: Vec<TileCoord> = plan.unclocked_tiles().collect();
@@ -380,7 +384,9 @@ mod tests {
                 Some(g) => g,
                 None => continue,
             };
-            let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+            let plan = ForwardingSim::new(faults.clone())
+                .run([generator])
+                .expect("ok");
             let reachable = healthy_reachable(&faults, generator);
             for tile in array.tiles() {
                 let clocked = matches!(
@@ -494,8 +500,7 @@ mod tests {
         // pinhole makes tiles just beyond it much deeper than their
         // straight-line distance.
         let array = TileArray::new(8, 8);
-        let faults =
-            FaultMap::from_faulty(array, (1..8).map(|y| TileCoord::new(4, y)));
+        let faults = FaultMap::from_faulty(array, (1..8).map(|y| TileCoord::new(4, y)));
         let plan = ForwardingSim::new(faults)
             .run([TileCoord::new(0, 7)])
             .expect("ok");

@@ -143,10 +143,7 @@ mod tests {
         // 333 ps budget (10 % of 3.33 ns).
         assert!(model.within_budget(62));
         let peak = model.peak(62);
-        assert!(
-            (100e-12..150e-12).contains(&peak.value()),
-            "peak {peak:?}"
-        );
+        assert!((100e-12..150e-12).contains(&peak.value()), "peak {peak:?}");
     }
 
     #[test]
@@ -163,12 +160,7 @@ mod tests {
     #[test]
     fn noisier_hops_shorten_the_chain() {
         let clean = JitterModel::paper_model();
-        let noisy = JitterModel::new(
-            Seconds(20e-12),
-            3.0,
-            0.10,
-            Hertz::from_megahertz(300.0),
-        );
+        let noisy = JitterModel::new(Seconds(20e-12), 3.0, 0.10, Hertz::from_megahertz(300.0));
         assert!(noisy.max_hops_within_budget() < clean.max_hops_within_budget());
     }
 

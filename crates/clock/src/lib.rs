@@ -36,13 +36,13 @@
 //! ```
 
 mod duty;
+pub mod forwarding;
 mod jitter;
 mod pll;
 mod selector;
-pub mod forwarding;
 
 pub use duty::{DccUnit, DutyCycleModel};
-pub use jitter::JitterModel;
 pub use forwarding::{fig4_scenario, ClockSetupError, ForwardingPlan, ForwardingSim, TileClock};
+pub use jitter::JitterModel;
 pub use pll::{Pll, SynthesizeError};
 pub use selector::{ClockSelector, ClockSource, SelectorPhase};

@@ -74,10 +74,8 @@ impl Options {
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value_of = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value_of =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--tiles" => opts.tiles = parse_num(value_of("--tiles")?)?,
                 "--faults" => opts.faults = parse_num(value_of("--faults")?)?,
@@ -105,12 +103,27 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 fn cmd_report() -> Result<(), String> {
     let cfg = SystemConfig::paper_prototype();
     println!("{cfg}");
-    println!("  shared memory     : {} MB", cfg.total_shared_memory() / (1024 * 1024));
-    println!("  network bandwidth : {:.2} TB/s", cfg.network_bandwidth() / 1e12);
-    println!("  memory bandwidth  : {:.3} TB/s", cfg.shared_memory_bandwidth() / 1e12);
-    println!("  compute           : {:.2} TOPS", cfg.compute_throughput_tops());
+    println!(
+        "  shared memory     : {} MB",
+        cfg.total_shared_memory() / (1024 * 1024)
+    );
+    println!(
+        "  network bandwidth : {:.2} TB/s",
+        cfg.network_bandwidth() / 1e12
+    );
+    println!(
+        "  memory bandwidth  : {:.3} TB/s",
+        cfg.shared_memory_bandwidth() / 1e12
+    );
+    println!(
+        "  compute           : {:.2} TOPS",
+        cfg.compute_throughput_tops()
+    );
     println!("  total area        : {:.0} mm^2", cfg.total_area().value());
-    println!("  peak power        : {:.0} W", cfg.total_peak_power().value());
+    println!(
+        "  peak power        : {:.0} W",
+        cfg.total_peak_power().value()
+    );
     Ok(())
 }
 

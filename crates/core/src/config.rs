@@ -14,6 +14,24 @@ use wsp_common::units::{Hertz, Millimeters, SquareMillimeters, Volts, Watts};
 use wsp_tile::{CORES_PER_TILE, PRIVATE_SRAM_BYTES};
 use wsp_topo::TileArray;
 
+/// How the machine prices remote shared-memory accesses.
+///
+/// The cycle-level [`wsp_noc::Fabric`] is the reference model: every
+/// remote load/store/AMO rides the dual-DoR mesh as a real packet and
+/// the core stalls until the response is delivered, so congestion,
+/// hot-spot queueing, and relay forwarding cost what they cost. The
+/// analytic model survives as a fast closed-form estimate for runs
+/// where contention is known to be negligible.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Cycle-level simulation on the shared NoC fabric (the default).
+    #[default]
+    Fabric,
+    /// Closed-form `2 · hops · CYCLES_PER_HOP + REMOTE_OVERHEAD`,
+    /// independent of network load.
+    Analytic,
+}
+
 /// Full-system configuration.
 ///
 /// # Examples
@@ -32,6 +50,7 @@ pub struct SystemConfig {
     frequency: Hertz,
     core_voltage: Volts,
     supply_voltage: Volts,
+    latency_model: LatencyModel,
 }
 
 impl SystemConfig {
@@ -67,7 +86,22 @@ impl SystemConfig {
             frequency: Self::NOMINAL_FREQUENCY,
             core_voltage: Self::NOMINAL_VOLTAGE,
             supply_voltage: Volts(2.5),
+            latency_model: LatencyModel::default(),
         }
+    }
+
+    /// The same configuration with a different remote-access latency
+    /// model.
+    #[must_use]
+    pub fn with_latency_model(mut self, model: LatencyModel) -> Self {
+        self.latency_model = model;
+        self
+    }
+
+    /// How the machine prices remote shared-memory accesses.
+    #[inline]
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency_model
     }
 
     /// The tile array.
@@ -157,8 +191,7 @@ impl SystemConfig {
     /// Total inter-chiplet I/O pads on the wafer (Sec. VII-B: 3.7 M+).
     pub fn total_ios(&self) -> u64 {
         self.compute_chiplets() as u64 * u64::from(self.ios_per_chiplet(ChipletKind::Compute))
-            + self.memory_chiplets() as u64
-                * u64::from(self.ios_per_chiplet(ChipletKind::Memory))
+            + self.memory_chiplets() as u64 * u64::from(self.ios_per_chiplet(ChipletKind::Memory))
     }
 
     /// Total wafer area including the edge-I/O margin (Table I:
@@ -245,7 +278,11 @@ mod tests {
         assert_eq!(cfg.ios_per_chiplet(ChipletKind::Compute), 2020);
         assert_eq!(cfg.ios_per_chiplet(ChipletKind::Memory), 1250);
         // Sec. VII-B: "the total number of inter-chip I/Os is 3.7M+".
-        assert!(cfg.total_ios() > 3_300_000, "total I/Os {}", cfg.total_ios());
+        assert!(
+            cfg.total_ios() > 3_300_000,
+            "total I/Os {}",
+            cfg.total_ios()
+        );
     }
 
     #[test]
@@ -276,6 +313,17 @@ mod tests {
     fn tile_bonding_model_is_high_yield() {
         let cfg = SystemConfig::paper_prototype();
         assert!(cfg.tile_bonding_model().chiplet_yield() > 0.9999);
+    }
+
+    #[test]
+    fn latency_model_defaults_to_fabric() {
+        let cfg = SystemConfig::paper_prototype();
+        assert_eq!(cfg.latency_model(), LatencyModel::Fabric);
+        let analytic = cfg.with_latency_model(LatencyModel::Analytic);
+        assert_eq!(analytic.latency_model(), LatencyModel::Analytic);
+        // Only the latency model changes.
+        assert_eq!(analytic.total_cores(), cfg.total_cores());
+        assert_eq!(analytic.array(), cfg.array());
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! * [`WaferscaleSystem`] walks a wafer through the whole lifecycle:
 //!   Monte-Carlo assembly → power-on analysis → clock setup → JTAG fault
 //!   localisation → program load → network bring-up;
+//! * [`MultiTileMachine`] executes ISA programs over one global address
+//!   space, routing every remote load/store/AMO as a request packet
+//!   through the shared [`wsp_noc::Fabric`] — the same cycle-level
+//!   engine behind the Fig. 7 traffic studies — so congestion, hot-spot
+//!   queueing, and relay forwarding are visible in run time (switch to
+//!   [`LatencyModel::Analytic`] for the closed-form estimate);
 //! * [`workload`] runs level-synchronous BFS and SSSP over the unified
 //!   shared memory, with remote accesses priced by the network model —
 //!   the reduced-size system validation the paper performed on FPGA.
@@ -34,6 +40,6 @@ mod machine;
 mod system;
 pub mod workload;
 
-pub use config::SystemConfig;
+pub use config::{LatencyModel, SystemConfig};
 pub use machine::{LoadMachineError, MachineStats, MultiTileMachine, RunMachineError};
 pub use system::{BootError, BootReport, WaferscaleSystem};

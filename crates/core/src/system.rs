@@ -189,11 +189,7 @@ impl WaferscaleSystem {
         }
 
         // Phase 4: program/data load time for the whole wafer.
-        let schedule = TestSchedule::new(
-            u32::from(rows),
-            TestSchedule::PAPER_TCK,
-            true,
-        );
+        let schedule = TestSchedule::new(u32::from(rows), TestSchedule::PAPER_TCK, true);
         let bytes_per_tile = (wsp_tile::memory::GLOBAL_REGION_BYTES
             + wsp_tile::CORES_PER_TILE * wsp_tile::PRIVATE_SRAM_BYTES)
             as u64;
@@ -319,8 +315,7 @@ mod tests {
     #[test]
     fn clean_system_boots_fully_usable() {
         let cfg = SystemConfig::with_array(TileArray::new(8, 8));
-        let mut system =
-            WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+        let mut system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
         let mut rng = seeded_rng(1);
         let report = system.boot(&mut rng).expect("boots");
         assert_eq!(report.usable_tiles, 64);
@@ -337,7 +332,11 @@ mod tests {
         let mut system = WaferscaleSystem::assemble(cfg, &mut rng);
         let report = system.boot(&mut rng).expect("boots");
         // Dual-pillar bonding: expect ~0–2 faulty tiles out of 1024.
-        assert!(report.usable_tiles >= 1020, "usable {}", report.usable_tiles);
+        assert!(
+            report.usable_tiles >= 1020,
+            "usable {}",
+            report.usable_tiles
+        );
         // The centre of the wafer droops towards ~1.4 V but stays usable.
         assert!(report.min_tile_voltage.value() > 1.35);
         assert!(report.min_tile_voltage.value() < 1.6);
@@ -369,10 +368,8 @@ mod tests {
     #[test]
     fn fault_rows_are_localised() {
         let cfg = SystemConfig::with_array(TileArray::new(8, 8));
-        let faults = FaultMap::from_faulty(
-            cfg.array(),
-            [TileCoord::new(3, 2), TileCoord::new(6, 5)],
-        );
+        let faults =
+            FaultMap::from_faulty(cfg.array(), [TileCoord::new(3, 2), TileCoord::new(6, 5)]);
         let mut system = WaferscaleSystem::with_faults(cfg, faults);
         let mut rng = seeded_rng(4);
         let report = system.boot(&mut rng).expect("boots");
@@ -386,10 +383,8 @@ mod tests {
         let cfg = SystemConfig::paper_prototype();
         let pristine = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
         let mut rng = seeded_rng(8);
-        let damaged = WaferscaleSystem::with_faults(
-            cfg,
-            FaultMap::sample_uniform(cfg.array(), 50, &mut rng),
-        );
+        let damaged =
+            WaferscaleSystem::with_faults(cfg, FaultMap::sample_uniform(cfg.array(), 50, &mut rng));
         let v_pristine = pristine.droop_map().expect("solves").min_voltage();
         let v_damaged = damaged.droop_map().expect("solves").min_voltage();
         assert!(v_damaged.value() > v_pristine.value());

@@ -52,11 +52,11 @@ impl Graph {
         let mut adjacency: Vec<Vec<(u32, u32)>> = vec![Vec::new(); vertices];
         match kind {
             GraphKind::UniformRandom { avg_degree } => {
-                for src in 0..vertices {
+                for edges in adjacency.iter_mut() {
                     for _ in 0..avg_degree {
                         let dst = rng.random_range(0..vertices) as u32;
                         let w = rng.random_range(1..16u32);
-                        adjacency[src].push((dst, w));
+                        edges.push((dst, w));
                     }
                 }
             }

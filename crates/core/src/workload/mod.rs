@@ -201,7 +201,10 @@ impl fmt::Display for RunWorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunWorkloadError::SourceOutOfRange { source, vertices } => {
-                write!(f, "source vertex {source} outside graph of {vertices} vertices")
+                write!(
+                    f,
+                    "source vertex {source} outside graph of {vertices} vertices"
+                )
             }
             RunWorkloadError::NoUsableTiles => f.write_str("system has no usable tiles"),
             RunWorkloadError::OwnerUnreachable { vertex } => {

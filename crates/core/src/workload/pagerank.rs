@@ -35,13 +35,13 @@ pub fn reference_pagerank(graph: &Graph, iterations: u32) -> Vec<u64> {
     for _ in 0..iterations {
         next.fill(0);
         let mut dangling = 0u64;
-        for v in 0..graph.vertex_count() {
+        for (v, &rank_v) in rank.iter().enumerate() {
             let deg = graph.degree(v) as u64;
             if deg == 0 {
-                dangling += rank[v];
+                dangling += rank_v;
                 continue;
             }
-            let share = rank[v] / deg;
+            let share = rank_v / deg;
             for (dst, _) in graph.neighbors(v) {
                 next[dst as usize] += share;
             }
@@ -121,9 +121,11 @@ pub fn run_pagerank(
                         * CYCLES_PER_HOP
                 }
                 NetworkChoice::Disconnected => {
-                    crate::workload::store_and_forward_hops(system.faults(), src, dst_tile)
-                        .ok_or(RunWorkloadError::OwnerUnreachable { vertex: dst as usize })?
-                        * (CYCLES_PER_HOP + CYCLES_PER_MESSAGE)
+                    crate::workload::store_and_forward_hops(system.faults(), src, dst_tile).ok_or(
+                        RunWorkloadError::OwnerUnreachable {
+                            vertex: dst as usize,
+                        },
+                    )? * (CYCLES_PER_HOP + CYCLES_PER_MESSAGE)
                 }
             };
             max_latency = max_latency.max(latency);

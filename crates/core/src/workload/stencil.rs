@@ -94,7 +94,9 @@ impl StencilGrid {
             for y in 1..self.height - 1 {
                 for x in 1..self.width - 1 {
                     let v = 0.25
-                        * (cur.get(x - 1, y) + cur.get(x + 1, y) + cur.get(x, y - 1)
+                        * (cur.get(x - 1, y)
+                            + cur.get(x + 1, y)
+                            + cur.get(x, y - 1)
                             + cur.get(x, y + 1));
                     next.set(x, y, v);
                 }
@@ -176,13 +178,11 @@ pub fn run_stencil(
                     (u64::from(b.manhattan_distance(via)) + u64::from(via.manhattan_distance(a)))
                         * CYCLES_PER_HOP
                 }
-                NetworkChoice::Disconnected => crate::workload::store_and_forward_hops(
-                    system.faults(),
-                    b,
-                    a,
-                )
-                .ok_or(RunWorkloadError::OwnerUnreachable { vertex: ny })?
-                    * (CYCLES_PER_HOP + CYCLES_PER_MESSAGE),
+                NetworkChoice::Disconnected => {
+                    crate::workload::store_and_forward_hops(system.faults(), b, a)
+                        .ok_or(RunWorkloadError::OwnerUnreachable { vertex: ny })?
+                        * (CYCLES_PER_HOP + CYCLES_PER_MESSAGE)
+                }
             };
             max_latency = max_latency.max(latency);
         }

@@ -35,6 +35,6 @@ pub mod tap;
 pub mod unroll;
 
 pub use dap::{DapChain, ShiftMode};
-pub use tap::{TapChainOfDevices, TapController, TapInstruction, TapState};
 pub use schedule::TestSchedule;
+pub use tap::{TapChainOfDevices, TapController, TapInstruction, TapState};
 pub use unroll::{ChainStep, ProgressiveUnroll, UnrollOutcome};

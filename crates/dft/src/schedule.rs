@@ -156,7 +156,11 @@ mod tests {
         // Paper: "roughly under 5 minutes" with 32 chains.
         let t =
             TestSchedule::paper_multichain().memory_load_time(TestSchedule::PAPER_TOTAL_LOAD_BYTES);
-        assert!(t.as_minutes() < 5.5, "multi-chain load {:.2} min", t.as_minutes());
+        assert!(
+            t.as_minutes() < 5.5,
+            "multi-chain load {:.2} min",
+            t.as_minutes()
+        );
         assert!(t.as_minutes() > 2.0);
     }
 
@@ -191,10 +195,7 @@ mod tests {
     #[test]
     fn paper_total_bytes_breakdown() {
         // 512 MB shared + 896 MB private = 1408 MB.
-        assert_eq!(
-            TestSchedule::PAPER_TOTAL_LOAD_BYTES,
-            1408 * 1024 * 1024
-        );
+        assert_eq!(TestSchedule::PAPER_TOTAL_LOAD_BYTES, 1408 * 1024 * 1024);
     }
 
     #[test]
@@ -205,7 +206,9 @@ mod tests {
 
     #[test]
     fn display_mentions_configuration() {
-        let s = TestSchedule::paper_multichain().with_broadcast().to_string();
+        let s = TestSchedule::paper_multichain()
+            .with_broadcast()
+            .to_string();
         assert!(s.contains("32 chain(s)"));
         assert!(s.contains("10 MHz"));
         assert!(s.contains("broadcast"));

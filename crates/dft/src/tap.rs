@@ -317,7 +317,9 @@ impl TapController {
                 | TapState::ShiftIr => {
                     self.step(true, false);
                 }
-                TapState::UpdateDr | TapState::UpdateIr | TapState::CaptureDr
+                TapState::UpdateDr
+                | TapState::UpdateIr
+                | TapState::CaptureDr
                 | TapState::CaptureIr => {
                     self.step(false, false);
                 }
@@ -516,7 +518,7 @@ mod tests {
         tap.scan_dr(&bits);
         assert_eq!(tap.dap_register(), value);
         // A second scan shifts the captured value back out.
-        let out = tap.scan_dr(&vec![false; DAP_DR_BITS]);
+        let out = tap.scan_dr(&[false; DAP_DR_BITS]);
         let read = out
             .iter()
             .enumerate()

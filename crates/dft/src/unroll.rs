@@ -69,7 +69,11 @@ impl fmt::Display for UnrollOutcome {
                 "chain unroll: {} good, faulty chiplet at position {p}",
                 self.verified_good()
             ),
-            None => write!(f, "chain unroll: all {} chiplets good", self.verified_good()),
+            None => write!(
+                f,
+                "chain unroll: all {} chiplets good",
+                self.verified_good()
+            ),
         }
     }
 }
@@ -164,8 +168,7 @@ impl ProgressiveUnroll {
     where
         F: Fn(usize) -> bool,
     {
-        ProgressiveUnroll::new(bonded.clamp(1, self.chain_len), self.pattern_bits)
-            .run(tile_healthy)
+        ProgressiveUnroll::new(bonded.clamp(1, self.chain_len), self.pattern_bits).run(tile_healthy)
     }
 }
 
@@ -203,7 +206,11 @@ mod tests {
         let outcome = ProgressiveUnroll::new(8, 16).run(|_| true);
         let costs: Vec<u64> = outcome.steps().iter().map(|s| s.tcks).collect();
         for w in costs.windows(2) {
-            assert_eq!(w[1] - w[0], 2, "each step adds one forward + one bypass bit");
+            assert_eq!(
+                w[1] - w[0],
+                2,
+                "each step adds one forward + one bypass bit"
+            );
         }
         assert_eq!(costs[0], 17);
         assert_eq!(outcome.total_tcks(), costs.iter().sum::<u64>());

@@ -132,13 +132,9 @@ pub fn disconnected_fraction(faults: &FaultMap, scheme: RoutingScheme) -> f64 {
             total += 1;
             let connected = match scheme {
                 // Round trip on one network: both directed L-paths needed.
-                RoutingScheme::SingleXy => {
-                    oracle.xy_connected(s, d) && oracle.xy_connected(d, s)
-                }
+                RoutingScheme::SingleXy => oracle.xy_connected(s, d) && oracle.xy_connected(d, s),
                 // Complementary response routing: one healthy L suffices.
-                RoutingScheme::DualXyYx => {
-                    oracle.xy_connected(s, d) || oracle.yx_connected(s, d)
-                }
+                RoutingScheme::DualXyYx => oracle.xy_connected(s, d) || oracle.yx_connected(s, d),
             };
             if !connected {
                 disconnected += 1;
@@ -205,7 +201,11 @@ impl ConnectivitySweep {
 
     /// Runs the sweep for each fault count, averaging both schemes over
     /// the same fault maps (paired comparison, as in the paper).
-    pub fn run<R: Rng + ?Sized>(&self, fault_counts: &[usize], rng: &mut R) -> Vec<ConnectivityPoint> {
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        fault_counts: &[usize],
+        rng: &mut R,
+    ) -> Vec<ConnectivityPoint> {
         fault_counts
             .iter()
             .map(|&count| {
@@ -234,8 +234,10 @@ impl ConnectivitySweep {
         let mut single = 0.0;
         let mut dual = 0.0;
         for trial in 0..self.trials {
-            let mut rng =
-                wsp_common::seeded_rng(stream_seed(seed, (fault_count as u64) << 32 | trial as u64));
+            let mut rng = wsp_common::seeded_rng(stream_seed(
+                seed,
+                (fault_count as u64) << 32 | trial as u64,
+            ));
             let faults = FaultMap::sample_uniform(self.array, fault_count, &mut rng);
             let oracle = SegmentOracle::new(&faults);
             let (s, d) = both_fractions(&faults, &oracle);

@@ -160,7 +160,11 @@ impl<T, const DEPTH: usize> Default for AsyncFifo<T, DEPTH> {
 
 impl<T, const DEPTH: usize> fmt::Display for AsyncFifo<T, DEPTH> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "async FIFO depth {DEPTH}, occupancy {}", self.occupancy())
+        write!(
+            f,
+            "async FIFO depth {DEPTH}, occupancy {}",
+            self.occupancy()
+        )
     }
 }
 
@@ -227,10 +231,8 @@ mod tests {
             let total = 500u32;
             while next_read < total {
                 // Random interleave of domain activity.
-                if rng.random_bool(0.55) && next_write < total {
-                    if fifo.push(next_write) {
-                        next_write += 1;
-                    }
+                if rng.random_bool(0.55) && next_write < total && fifo.push(next_write) {
+                    next_write += 1;
                 }
                 if rng.random_bool(0.5) {
                     if let Some(v) = fifo.pop() {

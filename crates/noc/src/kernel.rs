@@ -110,7 +110,8 @@ impl RoutePlanner {
     fn balance(&self, src: TileCoord, dst: TileCoord) -> NetworkKind {
         let h = (u64::from(src.x) ^ u64::from(dst.y).rotate_left(16))
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (u64::from(src.y) ^ u64::from(dst.x).rotate_left(32)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            ^ (u64::from(src.y) ^ u64::from(dst.x).rotate_left(32))
+                .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         if h & 1 == 0 {
             NetworkKind::Xy
         } else {
@@ -338,7 +339,11 @@ mod tests {
         // should be rare at realistic fault counts.
         let planner = {
             let mut rng = seeded_rng(77);
-            RoutePlanner::new(FaultMap::sample_uniform(TileArray::new(16, 16), 3, &mut rng))
+            RoutePlanner::new(FaultMap::sample_uniform(
+                TileArray::new(16, 16),
+                3,
+                &mut rng,
+            ))
         };
         let table = planner.build_table();
         let (_, _, relay, dead) = table.utilization();

@@ -18,9 +18,13 @@
 //! * [`kernel`] — the kernel-software policy: per-pair network selection,
 //!   load balancing across the two networks, and relaying through an
 //!   intermediate tile when both direct paths are broken;
-//! * [`sim`] — a cycle-level packet simulator of the dual network with
-//!   per-side ingress/egress buses, used for latency/throughput studies
-//!   and for validating deadlock freedom.
+//! * [`fabric`] — the reusable cycle-level engine: per-tile router FIFOs,
+//!   round-robin link arbitration with backpressure, relay re-injection,
+//!   and per-link contention statistics. Both the synthetic-traffic
+//!   simulator and the ISA-level machine in `waferscale` run on it;
+//! * [`traffic`] — synthetic [`TrafficPattern`] generation and the
+//!   [`NocSim`] latency/throughput studies on top of the fabric, also
+//!   validating deadlock freedom.
 //!
 //! # Examples
 //!
@@ -37,15 +41,19 @@
 //! ```
 
 pub mod connectivity;
+pub mod fabric;
 pub mod fifo;
 pub mod kernel;
 pub mod oddeven;
 pub mod routing;
-pub mod sim;
+pub mod traffic;
 
-pub use connectivity::{disconnected_fraction, ConnectivityPoint, ConnectivitySweep, RoutingScheme};
+pub use connectivity::{
+    disconnected_fraction, ConnectivityPoint, ConnectivitySweep, RoutingScheme,
+};
+pub use fabric::{Fabric, FabricPacket, LinkStats, PacketKind};
 pub use fifo::AsyncFifo;
 pub use kernel::{NetworkChoice, RoutePlanner, RoutingTable};
 pub use oddeven::{odd_even_disconnected_fraction, route_odd_even, turn_allowed};
 pub use routing::{dor_path, path_is_healthy, NetworkKind};
-pub use sim::{NocSim, SimConfig, SimReport, TrafficPattern};
+pub use traffic::{NocSim, SimConfig, SimReport, TrafficPattern};

@@ -46,7 +46,7 @@ pub fn turn_allowed(at: TileCoord, from: Direction, to: Direction) -> bool {
     if to == from {
         return true; // straight through
     }
-    let even_column = at.x % 2 == 0;
+    let even_column = at.x.is_multiple_of(2);
     match (from, to) {
         // Rule 1: EN and ES forbidden in even columns.
         (East, North) | (East, South) => !even_column,

@@ -1,25 +1,25 @@
-//! Cycle-level simulator of the dual-DoR waferscale network (Fig. 7).
+//! Synthetic-traffic simulation on top of the reusable [`Fabric`] engine
+//! (Fig. 7).
 //!
-//! Each tile's router has, per network, an input FIFO for each of the four
-//! sides plus a local injection FIFO; packets are single "flits" (the
-//! 100-bit packet matches the 100-bit bus width, Sec. VI), links move one
-//! packet per cycle, and arbitration is round-robin per output port.
-//! Requests ride the network the kernel chose; responses return on the
-//! complementary network so the pair traverses the same tiles in both
-//! directions and request/response cycles cannot deadlock. Relayed pairs
-//! are re-injected at the intermediate tile, spending its cycles, exactly
-//! as the paper's software workaround describes.
+//! This layer owns everything endpoint-specific about a latency/throughput
+//! study: the [`TrafficPattern`] generators, per-cycle Bernoulli injection,
+//! the destination's service delay before a response is generated, and the
+//! accumulated [`SimReport`] statistics. All queueing, arbitration, and
+//! relay behaviour comes from the shared [`Fabric`] — the same engine the
+//! ISA-level machine in `waferscale` routes its remote memory traffic
+//! through — so congestion numbers measured here transfer directly to
+//! workload execution.
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
 use rand::{Rng, RngExt as _};
 use serde::{Deserialize, Serialize};
-use wsp_topo::{FaultMap, TileArray, TileCoord, DIRECTIONS};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
 
+use crate::fabric::{Fabric, FabricPacket, PacketKind};
 use crate::kernel::{NetworkChoice, RoutePlanner};
-use crate::routing::{next_hop, NetworkKind};
+use crate::routing::NetworkKind;
 
 /// Synthetic traffic patterns for the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,72 +41,24 @@ pub enum TrafficPattern {
 impl TrafficPattern {
     /// Destination for a packet injected at `src`, or `None` when the
     /// pattern gives this tile nothing to send (e.g. self-addressed).
+    ///
+    /// `array` supplies the geometry: `NeighborEast` wraps at the array's
+    /// real column count, so a faulty rightmost column narrows the healthy
+    /// set without silently changing the pattern.
     fn destination<R: Rng + ?Sized>(
         &self,
         src: TileCoord,
+        array: TileArray,
         healthy: &[TileCoord],
         rng: &mut R,
     ) -> Option<TileCoord> {
         let dst = match *self {
             TrafficPattern::UniformRandom => healthy[rng.random_range(0..healthy.len())],
             TrafficPattern::Transpose => TileCoord::new(src.y, src.x),
-            TrafficPattern::NeighborEast => {
-                let array_cols = healthy.iter().map(|t| t.x).max().unwrap_or(0) + 1;
-                TileCoord::new((src.x + 1) % array_cols, src.y)
-            }
+            TrafficPattern::NeighborEast => TileCoord::new((src.x + 1) % array.cols(), src.y),
             TrafficPattern::HotSpot { target } => target,
         };
         (dst != src).then_some(dst)
-    }
-}
-
-/// What a packet is doing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PacketKind {
-    Request,
-    Response,
-}
-
-/// A single-flit packet in flight.
-#[derive(Debug, Clone, Copy)]
-struct Packet {
-    id: u64,
-    src: TileCoord,
-    dst: TileCoord,
-    choice: NetworkChoice,
-    kind: PacketKind,
-    /// Which leg of a relayed route this packet is on (always 0 for
-    /// direct routes).
-    leg: u8,
-    injected_at: u64,
-    hops: u32,
-}
-
-impl Packet {
-    /// The tile this packet is currently heading for on its present leg.
-    fn leg_target(&self) -> TileCoord {
-        match (self.choice, self.kind, self.leg) {
-            (NetworkChoice::Relay { via, .. }, PacketKind::Request, 0) => via,
-            (NetworkChoice::Relay { via, .. }, PacketKind::Response, 0) => via,
-            _ => self.dst,
-        }
-    }
-
-    /// The network carrying the present leg.
-    fn network(&self) -> NetworkKind {
-        match (self.choice, self.kind, self.leg) {
-            (NetworkChoice::Direct(n), PacketKind::Request, _) => n,
-            (NetworkChoice::Direct(n), PacketKind::Response, _) => n.complement(),
-            (NetworkChoice::Relay { first, .. }, PacketKind::Request, 0) => first,
-            (NetworkChoice::Relay { second, .. }, PacketKind::Request, _) => second,
-            // Response retraces: leg 0 is dst→via on second's complement,
-            // leg 1 is via→src on first's complement.
-            (NetworkChoice::Relay { second, .. }, PacketKind::Response, 0) => second.complement(),
-            (NetworkChoice::Relay { first, .. }, PacketKind::Response, _) => first.complement(),
-            (NetworkChoice::Disconnected, _, _) => {
-                unreachable!("disconnected packets are never injected")
-            }
-        }
     }
 }
 
@@ -131,33 +83,7 @@ impl Default for SimConfig {
     }
 }
 
-/// One mesh network's router state: five input FIFOs per tile
-/// (N, S, E, W, local injection).
-struct Network {
-    queues: Vec<[VecDeque<Packet>; 5]>,
-    /// Round-robin pointers, one per (tile, output port).
-    rr: Vec<[usize; 5]>,
-}
-
-const LOCAL: usize = 4;
-
-impl Network {
-    fn new(tiles: usize) -> Self {
-        Network {
-            queues: (0..tiles).map(|_| Default::default()).collect(),
-            rr: vec![[0; 5]; tiles],
-        }
-    }
-
-    fn total_occupancy(&self) -> usize {
-        self.queues
-            .iter()
-            .map(|qs| qs.iter().map(VecDeque::len).sum::<usize>())
-            .sum()
-    }
-}
-
-/// The dual-network simulator.
+/// The dual-network synthetic-traffic simulator.
 ///
 /// # Examples
 ///
@@ -175,16 +101,12 @@ pub struct NocSim {
     array: TileArray,
     planner: RoutePlanner,
     config: SimConfig,
-    networks: [Network; 2],
+    fabric: Fabric,
     healthy: Vec<TileCoord>,
     /// Responses waiting out the destination's service delay:
     /// `(ready_cycle, packet)`.
-    pending_responses: VecDeque<(u64, Packet)>,
-    next_id: u64,
-    cycle: u64,
+    pending_responses: std::collections::VecDeque<(u64, FabricPacket)>,
     stats: SimReport,
-    /// Per-link traversal counts: `[network][tile][direction]`.
-    link_use: [Vec<[u64; 4]>; 2],
 }
 
 impl NocSim {
@@ -193,19 +115,20 @@ impl NocSim {
         let array = faults.array();
         let healthy = faults.healthy_tiles().collect();
         let planner = RoutePlanner::new(faults);
-        let tiles = array.tile_count();
         NocSim {
             array,
             planner,
             config,
-            networks: [Network::new(tiles), Network::new(tiles)],
+            fabric: Fabric::new(array, config.queue_capacity),
             healthy,
-            pending_responses: VecDeque::new(),
-            next_id: 0,
-            cycle: 0,
+            pending_responses: std::collections::VecDeque::new(),
             stats: SimReport::default(),
-            link_use: [vec![[0; 4]; tiles], vec![[0; 4]; tiles]],
         }
+    }
+
+    /// The underlying fabric engine (per-link statistics live here).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// Traversal count of the link leaving `tile` in direction `dir` on
@@ -216,28 +139,12 @@ impl NocSim {
         tile: TileCoord,
         dir: wsp_topo::Direction,
     ) -> u64 {
-        self.link_use[network as usize][self.array.index_of(tile)][dir.index()]
+        self.fabric.link_utilization(network, tile, dir)
     }
 
     /// The most-used link: `(network, tile, direction, traversals)`.
     pub fn hottest_link(&self) -> Option<(NetworkKind, TileCoord, wsp_topo::Direction, u64)> {
-        let mut best: Option<(NetworkKind, TileCoord, wsp_topo::Direction, u64)> = None;
-        for (n, per_net) in self.link_use.iter().enumerate() {
-            let network = if n == 0 { NetworkKind::Xy } else { NetworkKind::Yx };
-            for (idx, dirs) in per_net.iter().enumerate() {
-                for (d, &count) in dirs.iter().enumerate() {
-                    if count > best.map_or(0, |b| b.3) {
-                        best = Some((
-                            network,
-                            self.array.coord_of(idx),
-                            DIRECTIONS[d],
-                            count,
-                        ));
-                    }
-                }
-            }
-        }
-        best
+        self.fabric.hottest_link()
     }
 
     /// The route planner derived from the fault map.
@@ -280,16 +187,18 @@ impl NocSim {
             }
         }
         let mut report = self.stats.clone();
-        report.cycles = self.cycle;
+        report.cycles = self.fabric.cycle();
+        report.relay_forwards = self.fabric.relay_forwards();
+        report.link_traversals = self.fabric.link_traversals();
+        report.total_stall_cycles = self.fabric.total_stall_cycles();
+        report.peak_link_occupancy = self.fabric.peak_link_occupancy();
         report.in_flight_at_end = self.in_flight();
         report
     }
 
     /// Packets currently queued anywhere plus responses pending service.
     pub fn in_flight(&self) -> usize {
-        self.networks[0].total_occupancy()
-            + self.networks[1].total_occupancy()
-            + self.pending_responses.len()
+        self.fabric.in_flight() + self.pending_responses.len()
     }
 
     /// Injects one cycle of traffic per the pattern.
@@ -300,7 +209,7 @@ impl NocSim {
             if !rng.random_bool(self.config.injection_rate) {
                 continue;
             }
-            let Some(dst) = pattern.destination(src, &self.healthy, rng) else {
+            let Some(dst) = pattern.destination(src, self.array, &self.healthy, rng) else {
                 continue;
             };
             let choice = self.planner.choose(src, dst);
@@ -311,22 +220,11 @@ impl NocSim {
             to_inject.push((src, dst, choice));
         }
         for (src, dst, choice) in to_inject {
-            let packet = Packet {
-                id: self.next_id,
-                src,
-                dst,
-                choice,
-                kind: PacketKind::Request,
-                leg: 0,
-                injected_at: self.cycle,
-                hops: 0,
-            };
-            self.next_id += 1;
-            let net = packet.network() as usize;
-            let idx = self.array.index_of(src);
-            let q = &mut self.networks[net].queues[idx][LOCAL];
-            if q.len() < self.config.queue_capacity * 4 {
-                q.push_back(packet);
+            // Ids advance even when the injection is refused, so packet
+            // id sequences are stable under backpressure.
+            let id = self.fabric.allocate_id();
+            let packet = FabricPacket::request(id, src, dst, choice, self.fabric.cycle());
+            if self.fabric.inject(packet) {
                 self.stats.requests_injected += 1;
             } else {
                 self.stats.injection_backpressure += 1;
@@ -336,151 +234,41 @@ impl NocSim {
 
     /// Advances the simulator one cycle.
     fn step(&mut self) {
-        self.cycle += 1;
-
-        // Release responses whose service delay has elapsed.
+        // Release responses whose service delay has elapsed; they join
+        // this cycle's arbitration exactly as in-network packets do.
+        let next_cycle = self.fabric.cycle() + 1;
         while let Some(&(ready, _)) = self.pending_responses.front() {
-            if ready > self.cycle {
+            if ready > next_cycle {
                 break;
             }
             let (_, packet) = self.pending_responses.pop_front().expect("non-empty");
-            let net = packet.network() as usize;
-            let idx = self.array.index_of(packet.src);
             // Local injection queues for responses are allowed to grow —
             // the destination tile buffers them in its local memory.
-            self.networks[net].queues[idx][LOCAL].push_back(packet);
+            self.fabric.inject_unbounded(packet);
         }
 
-        // Two-phase move: plan all transfers against the pre-cycle state,
-        // then apply, so a packet moves at most one hop per cycle.
-        let mut arrivals: Vec<(usize, usize, usize, Packet)> = Vec::new(); // (net, tile, port, packet)
-        let mut deliveries: Vec<Packet> = Vec::new();
-
-        for net_idx in 0..2 {
-            for tile_idx in 0..self.array.tile_count() {
-                let tile = self.array.coord_of(tile_idx);
-                // For each output port, grant one input queue round-robin.
-                for out_port in 0..5 {
-                    let grant = {
-                        let network = &self.networks[net_idx];
-                        let queues = &network.queues[tile_idx];
-                        let start = network.rr[tile_idx][out_port];
-                        (0..5).map(|o| (start + o) % 5).find(|&in_port| {
-                            queues[in_port].front().is_some_and(|p| {
-                                self.output_port_of(tile, p) == out_port
-                            })
-                        })
-                    };
-                    let Some(in_port) = grant else { continue };
-
-                    // Check downstream capacity / delivery.
-                    if out_port == LOCAL {
-                        let network = &mut self.networks[net_idx];
-                        let packet = network.queues[tile_idx][in_port]
-                            .pop_front()
-                            .expect("granted head");
-                        network.rr[tile_idx][out_port] = (in_port + 1) % 5;
-                        deliveries.push(packet);
-                    } else {
-                        let dir = DIRECTIONS[out_port];
-                        let Some(nb) = self.array.neighbor(tile, dir) else {
-                            unreachable!("DoR never routes off the array");
-                        };
-                        let nb_idx = self.array.index_of(nb);
-                        let in_side = dir.opposite().index();
-                        if self.networks[net_idx].queues[nb_idx][in_side].len()
-                            < self.config.queue_capacity
-                        {
-                            let network = &mut self.networks[net_idx];
-                            let mut packet = network.queues[tile_idx][in_port]
-                                .pop_front()
-                                .expect("granted head");
-                            network.rr[tile_idx][out_port] = (in_port + 1) % 5;
-                            packet.hops += 1;
-                            self.stats.link_traversals += 1;
-                            self.link_use[net_idx][tile_idx][out_port] += 1;
-                            arrivals.push((net_idx, nb_idx, in_side, packet));
-                        }
-                    }
-                }
-            }
-        }
-
-        for (net, tile, port, packet) in arrivals {
-            self.networks[net].queues[tile][port].push_back(packet);
-        }
-
-        for packet in deliveries {
-            self.deliver(packet);
+        for packet in self.fabric.tick() {
+            self.handle_delivery(packet);
         }
     }
 
-    /// Output port (0..=3 = direction, 4 = local) for `packet` at `tile`.
-    fn output_port_of(&self, tile: TileCoord, packet: &Packet) -> usize {
-        let target = packet.leg_target();
-        match next_hop(tile, target, packet.network()) {
-            None => LOCAL,
-            Some(nb) => {
-                let dir = DIRECTIONS
-                    .into_iter()
-                    .find(|d| self.array.neighbor(tile, *d) == Some(nb))
-                    .expect("next hop is a neighbour");
-                dir.index()
-            }
-        }
-    }
-
-    /// Handles a packet arriving at its current leg target.
-    fn deliver(&mut self, mut packet: Packet) {
-        match (packet.choice, packet.kind, packet.leg) {
-            (NetworkChoice::Relay { .. }, _, 0) => {
-                // Relay hop: the intermediate tile re-injects the packet on
-                // its second leg, spending a core cycle.
-                packet.leg = 1;
-                self.stats.relay_forwards += 1;
-                let net = packet.network() as usize;
-                let at = packet.leg_target(); // recompute after leg bump
-                let inject_at = match packet.kind {
-                    PacketKind::Request => {
-                        // now heading via→dst; it is AT via.
-                        match packet.choice {
-                            NetworkChoice::Relay { via, .. } => via,
-                            _ => unreachable!(),
-                        }
-                    }
-                    PacketKind::Response => match packet.choice {
-                        NetworkChoice::Relay { via, .. } => via,
-                        _ => unreachable!(),
-                    },
-                };
-                let _ = at;
-                let idx = self.array.index_of(inject_at);
-                self.networks[net].queues[idx][LOCAL].push_back(packet);
-            }
-            (_, PacketKind::Request, _) => {
+    /// Handles a packet arriving at its final endpoint.
+    fn handle_delivery(&mut self, packet: FabricPacket) {
+        let now = self.fabric.cycle();
+        match packet.kind {
+            PacketKind::Request => {
                 self.stats.requests_delivered += 1;
-                self.stats.request_latency_total += self.cycle - packet.injected_at;
-                self.stats.max_request_latency = self
-                    .stats
-                    .max_request_latency
-                    .max(self.cycle - packet.injected_at);
+                self.stats.request_latency_total += now - packet.injected_at;
+                self.stats.max_request_latency =
+                    self.stats.max_request_latency.max(now - packet.injected_at);
                 // Schedule the response on the complementary network.
-                let response = Packet {
-                    id: packet.id,
-                    src: packet.dst,
-                    dst: packet.src,
-                    choice: swap_relay(packet.choice),
-                    kind: PacketKind::Response,
-                    leg: 0,
-                    injected_at: packet.injected_at,
-                    hops: packet.hops,
-                };
+                let response = FabricPacket::response(&packet);
                 self.pending_responses
-                    .push_back((self.cycle + self.config.response_delay, response));
+                    .push_back((now + self.config.response_delay, response));
             }
-            (_, PacketKind::Response, _) => {
+            PacketKind::Response => {
                 self.stats.responses_delivered += 1;
-                let rtt = self.cycle - packet.injected_at;
+                let rtt = now - packet.injected_at;
                 self.stats.round_trip_latency_total += rtt;
                 self.stats.max_round_trip_latency = self.stats.max_round_trip_latency.max(rtt);
                 let bucket = (rtt as usize).min(RTT_HISTOGRAM_BUCKETS - 1);
@@ -491,13 +279,6 @@ impl NocSim {
             }
         }
     }
-}
-
-/// For a relayed route, the response's "first" leg is dst→via, which is
-/// the request's second leg reversed; keep the same via but note the
-/// response direction is handled by `Packet::network`.
-fn swap_relay(choice: NetworkChoice) -> NetworkChoice {
-    choice
 }
 
 /// Buckets of the round-trip latency histogram (1 cycle each; the last
@@ -524,6 +305,10 @@ pub struct SimReport {
     /// Total link traversals (one per packet per hop) — the utilisation
     /// numerator.
     pub link_traversals: u64,
+    /// Cycles arbitration winners spent stalled on full downstream FIFOs.
+    pub total_stall_cycles: u64,
+    /// Highest occupancy any link input FIFO reached.
+    pub peak_link_occupancy: usize,
     /// Sum of request one-way latencies, in cycles.
     pub request_latency_total: u64,
     /// Worst request one-way latency.
@@ -643,8 +428,10 @@ mod tests {
         let mut sim = clean_sim(8);
         let mut rng = seeded_rng(2);
         // Hot-spot with tiny rate ≈ isolated packets to a fixed target.
-        let mut config = SimConfig::default();
-        config.injection_rate = 0.001;
+        let config = SimConfig {
+            injection_rate: 0.001,
+            ..SimConfig::default()
+        };
         sim.config = config;
         let report = sim.run(
             TrafficPattern::HotSpot {
@@ -666,8 +453,10 @@ mod tests {
     fn transpose_traffic_drains_without_deadlock() {
         let mut sim = clean_sim(8);
         let mut rng = seeded_rng(3);
-        let mut cfg = SimConfig::default();
-        cfg.injection_rate = 0.2; // heavy load
+        let cfg = SimConfig {
+            injection_rate: 0.2, // heavy load
+            ..SimConfig::default()
+        };
         sim.config = cfg;
         let report = sim.run(TrafficPattern::Transpose, 400, &mut rng);
         assert_eq!(report.responses_delivered, report.requests_injected);
@@ -678,8 +467,10 @@ mod tests {
     fn hotspot_saturates_but_still_drains() {
         let mut sim = clean_sim(8);
         let mut rng = seeded_rng(4);
-        let mut cfg = SimConfig::default();
-        cfg.injection_rate = 0.3;
+        let cfg = SimConfig {
+            injection_rate: 0.3,
+            ..SimConfig::default()
+        };
         sim.config = cfg;
         let report = sim.run(
             TrafficPattern::HotSpot {
@@ -692,6 +483,9 @@ mod tests {
         // must appear, yet everything injected completes.
         assert_eq!(report.responses_delivered, report.requests_injected);
         assert!(report.max_round_trip_latency > report.mean_round_trip_latency() as u64);
+        // The fabric's contention counters must light up under saturation.
+        assert!(report.total_stall_cycles > 0);
+        assert!(report.peak_link_occupancy > 0);
     }
 
     #[test]
@@ -720,8 +514,10 @@ mod tests {
         // Inject a hot-spot pattern aimed at (7,3) from everywhere; the
         // (0,3) source must use the relay.
         let mut rng = seeded_rng(6);
-        let mut cfg = SimConfig::default();
-        cfg.injection_rate = 0.05;
+        let cfg = SimConfig {
+            injection_rate: 0.05,
+            ..SimConfig::default()
+        };
         sim.config = cfg;
         let report = sim.run(
             TrafficPattern::HotSpot {
@@ -742,6 +538,36 @@ mod tests {
         assert!(report.requests_delivered > 0);
         // Most hops are 1 (wrap-around pairs are longer).
         assert!(report.mean_request_latency() < 8.0);
+    }
+
+    #[test]
+    fn neighbor_wrap_uses_array_width_not_healthy_extent() {
+        // Whole rightmost column faulty: column 7's tiles are gone, so
+        // column 6 must still wrap to column 0 of the real 8-wide array —
+        // the kernel then reports those pairs per the fault map rather
+        // than silently re-shaping the pattern to a 7-wide array.
+        let array = TileArray::new(8, 8);
+        let faults = FaultMap::from_faulty(array, (0..8).map(|y| TileCoord::new(7, y)));
+        let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+        let mut rng = seeded_rng(21);
+        let pattern = TrafficPattern::NeighborEast;
+        let src = TileCoord::new(6, 2);
+        let dst = pattern
+            .destination(src, array, &healthy, &mut rng)
+            .expect("wraps");
+        assert_eq!(
+            dst,
+            TileCoord::new(7, 2),
+            "wrap column must come from the array"
+        );
+        // And the full simulation still completes round trips for the
+        // pairs the kernel can route.
+        let mut sim = NocSim::new(faults, SimConfig::default());
+        let report = sim.run(pattern, 300, &mut rng);
+        assert_eq!(report.responses_delivered, report.requests_injected);
+        // Packets aimed at the faulty wrap column are undeliverable — the
+        // honest outcome the old healthy-extent wrap hid.
+        assert!(report.undeliverable > 0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the [`wsp_noc::Fabric`] engine: packet
+//! conservation, destination correctness, exclusion of disconnected
+//! pairs, and deterministic replay of the traffic simulator.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use wsp_noc::{
+    Fabric, FabricPacket, NetworkChoice, NocSim, RoutePlanner, SimConfig, TrafficPattern,
+};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
+
+/// Injects one request per sampled healthy pair, skipping disconnected
+/// ones, and returns `(fabric, injected_count, id → dst)`.
+fn inject_random_pairs(
+    array: TileArray,
+    faults: &FaultMap,
+    attempts: usize,
+    seed: u64,
+) -> (Fabric, u64, HashMap<u64, TileCoord>) {
+    let planner = RoutePlanner::new(faults.clone());
+    let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+    let mut rng = wsp_common::seeded_rng(seed);
+    let mut fabric = Fabric::new(array, 4);
+    let mut injected = 0u64;
+    let mut expected = HashMap::new();
+    for _ in 0..attempts {
+        use rand::RngExt as _;
+        let src = healthy[rng.random_range(0..healthy.len())];
+        let dst = healthy[rng.random_range(0..healthy.len())];
+        if src == dst {
+            continue;
+        }
+        let choice = planner.choose(src, dst);
+        if choice == NetworkChoice::Disconnected {
+            continue;
+        }
+        let id = fabric.allocate_id();
+        let packet = FabricPacket::request(id, src, dst, choice, fabric.cycle());
+        if fabric.inject(packet) {
+            injected += 1;
+            expected.insert(id, dst);
+        }
+    }
+    (fabric, injected, expected)
+}
+
+proptest! {
+    /// Every packet accepted by `inject` is either still in flight or
+    /// has been delivered — at every intermediate cycle and at drain.
+    #[test]
+    fn packets_are_conserved(
+        cols in 2u16..7,
+        rows in 2u16..7,
+        fault_count in 0usize..4,
+        attempts in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let array = TileArray::new(cols, rows);
+        let mut rng = wsp_common::seeded_rng(seed.wrapping_mul(31).wrapping_add(7));
+        let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+        if faults.healthy_count() < 2 {
+            return Ok(());
+        }
+        let (mut fabric, injected, _) = inject_random_pairs(array, &faults, attempts, seed);
+
+        let mut delivered = 0u64;
+        for _ in 0..3 {
+            delivered += fabric.tick().len() as u64;
+            prop_assert_eq!(delivered + fabric.in_flight() as u64, injected);
+        }
+        delivered += fabric.drain().len() as u64;
+        prop_assert_eq!(delivered, injected);
+        prop_assert_eq!(fabric.in_flight(), 0);
+    }
+
+    /// Delivered packets surface at the destination they were addressed
+    /// to, exactly once.
+    #[test]
+    fn deliveries_arrive_at_their_destination(
+        cols in 2u16..7,
+        rows in 2u16..7,
+        attempts in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let array = TileArray::new(cols, rows);
+        let faults = FaultMap::none(array);
+        let (mut fabric, injected, mut expected) =
+            inject_random_pairs(array, &faults, attempts, seed);
+        let delivered = fabric.drain();
+        prop_assert_eq!(delivered.len() as u64, injected);
+        for packet in delivered {
+            let dst = expected.remove(&packet.id);
+            prop_assert_eq!(dst, Some(packet.dst));
+        }
+        prop_assert!(expected.is_empty());
+    }
+
+    /// Pairs the kernel marks `Disconnected` never yield a delivery: the
+    /// traffic layer refuses them at injection (`undeliverable`), and
+    /// every request that does enter the fabric completes its round
+    /// trip, so injected = responses at the end of a drained run.
+    #[test]
+    fn disconnected_pairs_never_deliver(
+        fault_count in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let array = TileArray::new(6, 6);
+        let mut rng = wsp_common::seeded_rng(seed.wrapping_add(99));
+        let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+        if faults.healthy_count() < 2 {
+            return Ok(());
+        }
+        let mut sim = NocSim::new(faults, SimConfig::default());
+        let report = sim.run(TrafficPattern::UniformRandom, 50, &mut rng);
+        prop_assert_eq!(report.in_flight_at_end, 0);
+        prop_assert_eq!(report.responses_delivered, report.requests_injected);
+    }
+
+    /// The same seed replays the same run bit for bit — fabric state is
+    /// fully deterministic.
+    #[test]
+    fn replay_is_deterministic(
+        seed in any::<u64>(),
+        fault_count in 0usize..5,
+    ) {
+        let array = TileArray::new(8, 8);
+        let run = || {
+            let mut rng = wsp_common::seeded_rng(seed);
+            let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+            let target = faults
+                .healthy_tiles()
+                .next()
+                .expect("an 8x8 array with at most 4 faults has healthy tiles");
+            let mut sim = NocSim::new(faults, SimConfig::default());
+            sim.run(TrafficPattern::HotSpot { target }, 100, &mut rng)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -131,10 +131,8 @@ mod tests {
     fn droop_formula() {
         let bank = DecapBank::paper_bank();
         // 200 mA for 10 ns out of 20 nF → ΔV = 0.2 · 10e-9 / 20e-9 = 0.1 V.
-        let droop = bank.transient_droop(
-            Amps::from_milliamps(200.0),
-            Seconds::from_nanoseconds(10.0),
-        );
+        let droop =
+            bank.transient_droop(Amps::from_milliamps(200.0), Seconds::from_nanoseconds(10.0));
         assert!((droop.value() - 0.1).abs() < 1e-12);
     }
 

@@ -173,7 +173,10 @@ impl PdnConfig {
     ///
     /// Panics if every entry is `false`.
     pub fn with_supply_sides(mut self, sides: [bool; 4]) -> Self {
-        assert!(sides.iter().any(|&s| s), "at least one supply side required");
+        assert!(
+            sides.iter().any(|&s| s),
+            "at least one supply side required"
+        );
         self.supply_sides = sides;
         self
     }
@@ -389,9 +392,7 @@ impl PdnSolution {
 
     /// Iterates over `(tile, voltage)` in row-major order.
     pub fn voltages(&self) -> impl Iterator<Item = (TileCoord, Volts)> + '_ {
-        self.array
-            .tiles()
-            .map(move |t| (t, self.voltage_at(t)))
+        self.array.tiles().map(move |t| (t, self.voltage_at(t)))
     }
 
     /// Lowest node voltage on the wafer (at the centre for uniform load).
@@ -471,7 +472,10 @@ mod tests {
         let mut prev = sol.voltage_at(TileCoord::new(0, 16));
         for x in 1..=16 {
             let v = sol.voltage_at(TileCoord::new(x, 16));
-            assert!(v.value() <= prev.value() + 1e-4, "droop not monotone at x={x}");
+            assert!(
+                v.value() <= prev.value() + 1e-4,
+                "droop not monotone at x={x}"
+            );
             prev = v;
         }
         let reconstructed = sol.supply() - sol.max_droop();
@@ -480,8 +484,7 @@ mod tests {
 
     #[test]
     fn zero_ish_load_gives_flat_plane() {
-        let cfg = PdnConfig::paper_prototype()
-            .with_load(LoadModel::ConstantCurrent(Amps(1e-9)));
+        let cfg = PdnConfig::paper_prototype().with_load(LoadModel::ConstantCurrent(Amps(1e-9)));
         let sol = cfg.solve().expect("converges");
         assert!(sol.max_droop().value() < 1e-6);
     }
@@ -588,7 +591,10 @@ mod tests {
             .voltages()
             .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite"))
             .expect("non-empty");
-        assert!((13..=18).contains(&worst.x) && (13..=18).contains(&worst.y), "worst at {worst}");
+        assert!(
+            (13..=18).contains(&worst.x) && (13..=18).contains(&worst.y),
+            "worst at {worst}"
+        );
     }
 
     #[test]

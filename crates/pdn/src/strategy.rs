@@ -54,9 +54,7 @@ pub enum DeliveryStrategy {
 impl DeliveryStrategy {
     /// The paper's edge-LDO scheme at 2.5 V.
     pub fn paper_edge_ldo() -> Self {
-        DeliveryStrategy::EdgeLdo {
-            supply: Volts(2.5),
-        }
+        DeliveryStrategy::EdgeLdo { supply: Volts(2.5) }
     }
 
     /// The rejected on-wafer conversion scheme at 12 V.
@@ -71,9 +69,7 @@ impl DeliveryStrategy {
     /// The future backside-TWV scheme at 1.5 V (enough headroom for the
     /// LDO dropout with no lateral droop to budget for).
     pub fn future_backside_twv() -> Self {
-        DeliveryStrategy::BacksideTwv {
-            supply: Volts(1.5),
-        }
+        DeliveryStrategy::BacksideTwv { supply: Volts(1.5) }
     }
 
     /// Whether the integration technology for this scheme was

@@ -55,7 +55,11 @@ pub enum DrcViolation {
 impl fmt::Display for DrcViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DrcViolation::TrackOverlap { boundary, layer, nets } => write!(
+            DrcViolation::TrackOverlap {
+                boundary,
+                layer,
+                nets,
+            } => write!(
                 f,
                 "nets {} and {} overlap on {boundary:?} ({layer})",
                 nets.0, nets.1
@@ -101,11 +105,14 @@ impl fmt::Display for DrcViolation {
 /// # Ok::<(), wsp_route::RouteError>(())
 /// ```
 pub fn check_route(report: &RouteReport, config: &RouterConfig) -> Vec<DrcViolation> {
+    /// Track interval claimed by a net: (start, end, net id).
+    type TrackSpan = (u32, u32, u32);
+
     let mut violations = Vec::new();
     let grid = ReticleGrid::paper_grid(config.array());
 
     // Recompute occupancy per (boundary, layer).
-    let mut occupancy: HashMap<(BoundaryKey, Layer), Vec<(u32, u32, u32)>> = HashMap::new();
+    let mut occupancy: HashMap<(BoundaryKey, Layer), Vec<TrackSpan>> = HashMap::new();
     for r in report.routed() {
         let end = r.track_start + r.net.width;
         for b in &r.boundaries {

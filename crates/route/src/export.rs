@@ -151,7 +151,9 @@ pub fn parse_route_dump(dump: &str) -> Result<Vec<DumpEntry>, String> {
 }
 
 fn parse_endpoint(token: &str) -> Option<TileCoord> {
-    let rest = token.strip_prefix('T').or_else(|| token.strip_prefix('E'))?;
+    let rest = token
+        .strip_prefix('T')
+        .or_else(|| token.strip_prefix('E'))?;
     let (x, y) = rest.split_once('_')?;
     Some(TileCoord::new(x.parse().ok()?, y.parse().ok()?))
 }
@@ -215,8 +217,6 @@ mod tests {
         assert!(parse_route_dump("").is_err());
         assert!(parse_route_dump("BOGUS header").is_err());
         assert!(parse_route_dump("ROUTEDUMP v1 nets=1 failed=0 dropped=0\nJUNK").is_err());
-        assert!(
-            parse_route_dump("ROUTEDUMP v1 nets=1 failed=0 dropped=0\nNET x bad").is_err()
-        );
+        assert!(parse_route_dump("ROUTEDUMP v1 nets=1 failed=0 dropped=0\nNET x bad").is_err());
     }
 }

@@ -176,7 +176,12 @@ impl WaferGeometry {
     /// # Panics
     ///
     /// Panics if the pads do not fit along the edge.
-    pub fn pad_positions(&self, tile: TileCoord, side: wsp_topo::Direction, count: u32) -> Vec<(f64, f64)> {
+    pub fn pad_positions(
+        &self,
+        tile: TileCoord,
+        side: wsp_topo::Direction,
+        count: u32,
+    ) -> Vec<(f64, f64)> {
         const PAD_PITCH_MM: f64 = 0.010;
         let rect = self.compute_rect(tile);
         let (edge_len, horizontal) = match side {
@@ -383,12 +388,32 @@ mod tests {
 
     #[test]
     fn rect_relations() {
-        let a = Rect { x0: 0.0, y0: 0.0, x1: 2.0, y1: 2.0 };
-        let b = Rect { x0: 1.0, y0: 1.0, x1: 3.0, y1: 3.0 };
-        let c = Rect { x0: 2.0, y0: 0.0, x1: 3.0, y1: 1.0 };
+        let a = Rect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 2.0,
+            y1: 2.0,
+        };
+        let b = Rect {
+            x0: 1.0,
+            y0: 1.0,
+            x1: 3.0,
+            y1: 3.0,
+        };
+        let c = Rect {
+            x0: 2.0,
+            y0: 0.0,
+            x1: 3.0,
+            y1: 1.0,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c)); // touching edges don't overlap
-        assert!(a.contains(&Rect { x0: 0.5, y0: 0.5, x1: 1.5, y1: 1.5 }));
+        assert!(a.contains(&Rect {
+            x0: 0.5,
+            y0: 0.5,
+            x1: 1.5,
+            y1: 1.5
+        }));
         assert!(!a.contains(&b));
         assert_eq!(a.width(), 2.0);
         assert_eq!(a.height(), 2.0);

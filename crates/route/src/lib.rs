@@ -41,6 +41,4 @@ pub use drc::{check_route, DrcViolation};
 pub use export::{export_route_dump, parse_route_dump, DumpEntry};
 pub use geometry::{Rect, WaferGeometry, WireSegment};
 pub use netlist::{Net, NetClass, NetEndpoint, WaferNetlist};
-pub use router::{
-    Layer, LayerMode, RouteError, RouteReport, RoutedNet, RouterConfig,
-};
+pub use router::{Layer, LayerMode, RouteError, RouteReport, RoutedNet, RouterConfig};

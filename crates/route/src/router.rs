@@ -259,10 +259,10 @@ impl RouterConfig {
     fn nearest_side(&self, t: TileCoord) -> u8 {
         let a = self.array;
         let dists = [
-            t.y,                 // north
-            a.rows() - 1 - t.y,  // south
-            a.cols() - 1 - t.x,  // east
-            t.x,                 // west
+            t.y,                // north
+            a.rows() - 1 - t.y, // south
+            a.cols() - 1 - t.x, // east
+            t.x,                // west
         ];
         let (side, _) = dists
             .iter()
@@ -310,7 +310,10 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::ArrayMismatch { netlist, router } => {
-                write!(f, "netlist spans {netlist} but router configured for {router}")
+                write!(
+                    f,
+                    "netlist spans {netlist} but router configured for {router}"
+                )
             }
         }
     }
@@ -459,7 +462,12 @@ mod tests {
     #[test]
     fn full_wafer_routes_cleanly_on_two_layers() {
         let (_, report) = route(TileArray::new(32, 32), LayerMode::DualLayer);
-        assert_eq!(report.failed_nets(), 0, "failed: {:?}", report.failed().first());
+        assert_eq!(
+            report.failed_nets(),
+            0,
+            "failed: {:?}",
+            report.failed().first()
+        );
         assert!(report.dropped().is_empty());
         assert_eq!(report.memory_capacity_loss(), 0.0);
         assert!(report.total_wirelength_m() > 100.0);

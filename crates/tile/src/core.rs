@@ -48,6 +48,64 @@ pub enum BusGrant {
     Stalled,
 }
 
+/// Progress of one core's outstanding shared-memory access, tracked by
+/// whatever agent services the bus on the core's behalf (the tile for
+/// local banks, the machine's network interface for remote tiles). The
+/// core itself just re-issues the access and sees [`BusGrant::Stalled`]
+/// until the slot reaches [`PendingAccess::Ready`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingAccess {
+    /// The request is in the network; the core stalls until the response
+    /// packet is actually delivered.
+    InFlight {
+        /// Byte address of the stalled access.
+        addr: u32,
+        /// Cycle the access first issued, for end-to-end latency
+        /// accounting.
+        issued_at: u64,
+    },
+    /// Analytic-model timer: the access completes once the machine clock
+    /// reaches `ready_at`, independent of network load.
+    WaitUntil {
+        /// Byte address of the stalled access.
+        addr: u32,
+        /// Cycle the access first issued.
+        issued_at: u64,
+        /// Cycle the modelled round trip completes.
+        ready_at: u64,
+    },
+    /// The response has arrived carrying the access result; the core is
+    /// granted on its next bus attempt.
+    Ready {
+        /// Byte address of the completed access.
+        addr: u32,
+        /// Cycle the access first issued.
+        issued_at: u64,
+        /// The grant payload (load/AMO result; 0 for stores).
+        value: u32,
+    },
+}
+
+impl PendingAccess {
+    /// The byte address the access targets.
+    pub fn addr(&self) -> u32 {
+        match *self {
+            PendingAccess::InFlight { addr, .. }
+            | PendingAccess::WaitUntil { addr, .. }
+            | PendingAccess::Ready { addr, .. } => addr,
+        }
+    }
+
+    /// The cycle the access first issued.
+    pub fn issued_at(&self) -> u64 {
+        match *self {
+            PendingAccess::InFlight { issued_at, .. }
+            | PendingAccess::WaitUntil { issued_at, .. }
+            | PendingAccess::Ready { issued_at, .. } => issued_at,
+        }
+    }
+}
+
 /// Execution state of a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreState {
@@ -316,7 +374,7 @@ impl Default for CoreSim {
 }
 
 fn check_private(addr: u32) -> Result<(), AccessMemoryError> {
-    if addr % 4 != 0 {
+    if !addr.is_multiple_of(4) {
         return Err(AccessMemoryError::Misaligned { addr });
     }
     if addr as usize + 4 > PRIVATE_SRAM_BYTES {
@@ -560,7 +618,11 @@ mod tests {
         let mut sorted = data;
         sorted.sort_unstable();
         for (i, &v) in sorted.iter().enumerate() {
-            assert_eq!(core.read_private_word(i as u32 * 4).expect("ok"), v, "index {i}");
+            assert_eq!(
+                core.read_private_word(i as u32 * 4).expect("ok"),
+                v,
+                "index {i}"
+            );
         }
     }
 
@@ -577,7 +639,12 @@ mod tests {
         core.step(|_| Ok(BusGrant::Stalled)).expect("ldi");
         // First attempt stalls...
         core.step(|a| {
-            assert_eq!(a, BusAccess::Load { addr: GLOBAL_BASE + 8 });
+            assert_eq!(
+                a,
+                BusAccess::Load {
+                    addr: GLOBAL_BASE + 8
+                }
+            );
             Ok(BusGrant::Stalled)
         })
         .expect("stall");
@@ -620,7 +687,9 @@ mod tests {
             core.write_private_word(PRIVATE_SRAM_BYTES as u32, 1),
             Err(AccessMemoryError::OutOfRange { .. })
         ));
-        assert!(core.read_private_word(PRIVATE_SRAM_BYTES as u32 - 4).is_ok());
+        assert!(core
+            .read_private_word(PRIVATE_SRAM_BYTES as u32 - 4)
+            .is_ok());
     }
 
     #[test]

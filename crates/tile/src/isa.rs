@@ -242,7 +242,8 @@ impl ProgramBuilder {
 
     /// `rd ← rs | rt`.
     pub fn or(mut self, rd: Reg, rs: Reg, rt: Reg) -> Self {
-        self.pending.push(PendingInstr::Ready(Instr::Or(rd, rs, rt)));
+        self.pending
+            .push(PendingInstr::Ready(Instr::Or(rd, rs, rt)));
         self
     }
 

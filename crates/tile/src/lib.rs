@@ -43,7 +43,7 @@ pub mod isa;
 pub mod memory;
 mod tile;
 
-pub use crate::core::{BusAccess, BusGrant, CoreSim, CoreState, StepError};
+pub use crate::core::{BusAccess, BusGrant, CoreSim, CoreState, PendingAccess, StepError};
 pub use crate::crossbar::Crossbar;
 pub use crate::memory::{AccessMemoryError, MemoryChiplet};
 pub use crate::tile::{LoadProgramError, RunTileError, Tile, TileStats};

@@ -118,7 +118,7 @@ impl MemoryChiplet {
 
     /// Maps an offset to `(bank, byte-within-bank)`.
     fn locate(&self, offset: u32) -> Result<(usize, usize), AccessMemoryError> {
-        if offset % 4 != 0 {
+        if !offset.is_multiple_of(4) {
             return Err(AccessMemoryError::Misaligned { addr: offset });
         }
         let off = offset as usize;

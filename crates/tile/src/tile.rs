@@ -290,7 +290,8 @@ mod tests {
     #[test]
     fn single_core_writes_shared_memory() {
         let mut tile = Tile::new();
-        tile.load_program(0, &accumulate_program(64, 5)).expect("ok");
+        tile.load_program(0, &accumulate_program(64, 5))
+            .expect("ok");
         let stats = tile.run_until_halt(1000).expect("halts");
         assert_eq!(tile.read_shared_word(64).expect("ok"), 5);
         assert!(stats.retired >= 6);

@@ -173,7 +173,10 @@ impl TileArray {
     ///
     /// Panics if either dimension is zero.
     pub fn new(cols: u16, rows: u16) -> Self {
-        assert!(cols > 0 && rows > 0, "tile array dimensions must be non-zero");
+        assert!(
+            cols > 0 && rows > 0,
+            "tile array dimensions must be non-zero"
+        );
         TileArray { cols, rows }
     }
 

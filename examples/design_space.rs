@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {supply_mv} mV edge -> centre {:.2} V: LDO {}",
             centre.value(),
-            if ok { "regulates" } else { "FAILS (below dropout)" }
+            if ok {
+                "regulates"
+            } else {
+                "FAILS (below dropout)"
+            }
         );
     }
 

@@ -23,9 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (name, kind) in [
-        ("uniform random d=16", GraphKind::UniformRandom { avg_degree: 16 }),
+        (
+            "uniform random d=16",
+            GraphKind::UniformRandom { avg_degree: 16 },
+        ),
         ("2-D grid (stencil-like)", GraphKind::Grid2d),
-        ("power law d=16 (hubs!)", GraphKind::PowerLaw { avg_degree: 16 }),
+        (
+            "power law d=16 (hubs!)",
+            GraphKind::PowerLaw { avg_degree: 16 },
+        ),
     ] {
         let graph = Graph::generate(kind, 100_000, &mut rng);
         let currents = activity_power_map(&system, &graph);

@@ -40,7 +40,9 @@ fn clock_coverage_equals_network_reachability() {
         let Some(generator) = array.edge_tiles().find(|&t| faults.is_healthy(t)) else {
             continue;
         };
-        let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+        let plan = ForwardingSim::new(faults.clone())
+            .run([generator])
+            .expect("ok");
         let planner = RoutePlanner::new(faults.clone());
         for tile in faults.healthy_tiles() {
             if tile == generator {
@@ -75,9 +77,8 @@ fn pad_frame_and_netlist_agree_on_network_width() {
     // on the essential columns of a 2.4 mm edge.
     let frame = PadFrame::paper(ChipletKind::Compute);
     let escape_one_layer = frame.max_escape_wires(PadFrame::PAPER_WIRING_PITCH, 1);
-    let demand = WaferNetlist::NETWORK_BUNDLE
-        + WaferNetlist::CLOCK_BUNDLE
-        + WaferNetlist::JTAG_BUNDLE;
+    let demand =
+        WaferNetlist::NETWORK_BUNDLE + WaferNetlist::CLOCK_BUNDLE + WaferNetlist::JTAG_BUNDLE;
     assert!(
         demand <= escape_one_layer,
         "per-side demand {demand} exceeds one-layer escape {escape_one_layer}"
@@ -87,7 +88,9 @@ fn pad_frame_and_netlist_agree_on_network_width() {
     // boundaries: peak L1 use equals the demand.
     let array = TileArray::new(8, 8);
     let config = RouterConfig::paper_config(array, LayerMode::DualLayer);
-    let report = config.route(&WaferNetlist::generate(array)).expect("routes");
+    let report = config
+        .route(&WaferNetlist::generate(array))
+        .expect("routes");
     let (l1_used, _) = report
         .peak_utilization(&config)
         .into_iter()
@@ -140,7 +143,9 @@ fn single_layer_route_preserves_everything_the_clock_and_noc_need() {
     // all still route — only second-set memory banks drop.
     let array = TileArray::new(32, 32);
     let config = RouterConfig::paper_config(array, LayerMode::SingleLayer);
-    let report = config.route(&WaferNetlist::generate(array)).expect("routes");
+    let report = config
+        .route(&WaferNetlist::generate(array))
+        .expect("routes");
     assert_eq!(report.failed_nets(), 0);
     for dropped in report.dropped() {
         assert!(
@@ -163,7 +168,7 @@ fn tap_fsm_grounds_the_test_time_calibration() {
     tap.reset();
     tap.load_instruction(TapInstruction::DapAccess);
     let before = tap.tcks();
-    tap.scan_dr(&vec![false; DAP_DR_BITS]);
+    tap.scan_dr(&[false; DAP_DR_BITS]);
     let per_scan = tap.tcks() - before;
     let scans_per_word = 6;
     let derived = per_scan * scans_per_word;
@@ -180,7 +185,9 @@ fn fig4_scenario_is_consistent_across_crates() {
     // the clock simulator, the fault map, or the network planner.
     let (faults, isolated, generator) = wsp_clock::fig4_scenario();
     assert!(faults.is_isolated(isolated));
-    let plan = ForwardingSim::new(faults.clone()).run([generator]).expect("ok");
+    let plan = ForwardingSim::new(faults.clone())
+        .run([generator])
+        .expect("ok");
     assert_eq!(plan.unclocked_tiles().collect::<Vec<_>>(), vec![isolated]);
     let planner = RoutePlanner::new(faults);
     assert_eq!(

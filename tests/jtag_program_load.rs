@@ -33,7 +33,9 @@ fn bits_to_words(bits: &[bool]) -> Vec<u32> {
 fn broadcast_data_load_reaches_every_core_intact() {
     // The external controller broadcasts a 32-word data image to all 14
     // DAPs of a tile (the SPMD case), then each core checksums its copy.
-    let image: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xA5A5).collect();
+    let image: Vec<u32> = (0..32u32)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xA5A5)
+        .collect();
     let bits = words_to_bits(&image);
 
     // Ship the image through the bit-accurate DAP chain in broadcast mode.

@@ -88,7 +88,11 @@ fn claim_14x_broadcast_and_32x_chains() {
     let single = TestSchedule::single_chain().memory_load_time(bytes);
     let multi = TestSchedule::paper_multichain().memory_load_time(bytes);
     // 2.5 h → "roughly under 5 minutes".
-    assert!((2.0..3.2).contains(&single.as_hours()), "{:.2} h", single.as_hours());
+    assert!(
+        (2.0..3.2).contains(&single.as_hours()),
+        "{:.2} h",
+        single.as_hours()
+    );
     assert!(multi.as_minutes() < 5.5, "{:.1} min", multi.as_minutes());
     assert!((single.value() / multi.value() - 32.0).abs() < 0.5);
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use wsp_assembly::{BondingModel, RedundancyScheme};
 use wsp_clock::{DccUnit, DutyCycleModel, ForwardingSim, TileClock};
 use wsp_common::seeded_rng;
-use wsp_noc::{dor_path, path_is_healthy, NetworkKind, NetworkChoice, RoutePlanner};
+use wsp_noc::{dor_path, path_is_healthy, NetworkChoice, NetworkKind, RoutePlanner};
 use wsp_route::{check_route, LayerMode, RouterConfig, WaferNetlist};
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 

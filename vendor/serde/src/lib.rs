@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde purely as an interface marker: types derive
+//! `Serialize`/`Deserialize` and a handful of generic bounds reference the
+//! traits, but nothing actually serializes offline. The traits are therefore
+//! blanket-implemented for every type and the derives (re-exported from the
+//! in-repo `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: Sized {}
+
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

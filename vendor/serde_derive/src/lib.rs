@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses serde derives as markers (no actual
+//! serialization backend is wired up offline), so both derives expand to
+//! nothing; the `serde` stub crate provides blanket trait impls instead.
+//! `attributes(serde)` is declared so `#[serde(...)]` field/container
+//! attributes in the source keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
