@@ -5,20 +5,29 @@
 //! Run with `cargo run -p wsp-bench --bin fig10_unroll`.
 
 use rand::RngExt as _;
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_common::seeded_rng;
 use wsp_dft::{DapChain, ProgressiveUnroll, ShiftMode};
+use wsp_telemetry::{SharedRecorder, Sink};
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
+
     header("Fig. 9", "intra-tile DAP daisy chain and broadcast mode");
+    let serial_tcks = DapChain::tcks_to_load_all(14, 8192, ShiftMode::Serial);
+    let broadcast_tcks = DapChain::tcks_to_load_all(14, 8192, ShiftMode::Broadcast);
+    sink.gauge_set("dft.dap.serial_load_tcks", serial_tcks as f64);
+    sink.gauge_set("dft.dap.broadcast_load_tcks", broadcast_tcks as f64);
     result_line(
         "TCKs to load a 1 KB image into all 14 cores (serial)",
-        DapChain::tcks_to_load_all(14, 8192, ShiftMode::Serial),
+        serial_tcks,
         None,
     );
     result_line(
         "TCKs in broadcast mode",
-        DapChain::tcks_to_load_all(14, 8192, ShiftMode::Broadcast),
+        broadcast_tcks,
         Some("14x fewer — \"the JTAG bit shifting latency reduces by 14x\""),
     );
 
@@ -40,21 +49,30 @@ fn main() {
         Some("exact position identified as the chain unrolls"),
     );
     result_line("total TCKs spent", outcome.total_tcks(), None);
+    sink.gauge_set("dft.unroll.verified_good", outcome.verified_good() as f64);
+    sink.gauge_set("dft.unroll.total_tcks", outcome.total_tcks() as f64);
 
     header(
         "Fig. 10 MC",
         "localisation over random single-fault rows (1000 trials)",
     );
-    let mut rng = seeded_rng(77);
-    let mut exact = 0;
-    for _ in 0..1000 {
+    let trials: u64 = if opts.smoke { 100 } else { 1000 };
+    let mut rng = seeded_rng(opts.seed_or(77));
+    let mut exact: u64 = 0;
+    for _ in 0..trials {
         let fault_at = rng.random_range(0..32usize);
         let outcome = ProgressiveUnroll::new(32, 32).run(|pos| pos != fault_at);
         if outcome.first_faulty() == Some(fault_at) {
             exact += 1;
         }
     }
-    result_line("exact localisations", format!("{exact}/1000"), Some("100%"));
+    sink.counter_add("dft.unroll.mc_trials", trials);
+    sink.counter_add("dft.unroll.mc_exact_localisations", exact);
+    result_line(
+        "exact localisations",
+        format!("{exact}/{trials}"),
+        Some("100%"),
+    );
 
     header(
         "Sec. VII-B",
@@ -80,4 +98,6 @@ fn main() {
             format!("{saved}"),
         ]);
     }
+
+    opts.write_outputs("fig10_unroll", &recorder);
 }

@@ -2,15 +2,30 @@
 //! voltage droop) plus the Sec. III delivery-strategy comparison.
 //!
 //! Run with `cargo run -p wsp-bench --bin fig2_droop`.
+//! Accepts `--json <path>` (metrics report) and `--trace <path>` (the
+//! SOR solver's per-iteration residual convergence as a Chrome trace).
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_common::units::Watts;
 use wsp_pdn::{DeliveryStrategy, LoadModel, PdnConfig};
+use wsp_telemetry::{SharedRecorder, Sink};
 use wsp_topo::TileCoord;
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     let cfg = PdnConfig::paper_prototype();
-    let sol = cfg.solve().expect("PDN solve converges");
+    let sol = cfg.solve_traced(&mut sink).expect("PDN solve converges");
+    sink.gauge_set("pdn.total_current_a", sol.total_current().value());
+    sink.gauge_set("pdn.supply_power_w", sol.supply_power().value());
+    sink.gauge_set("pdn.max_droop_v", sol.max_droop().value());
+    sink.series_set(
+        "pdn.middle_row_voltage",
+        &(0..32)
+            .map(|x| sol.voltage_at(TileCoord::new(x, 16)).value())
+            .collect::<Vec<_>>(),
+    );
 
     header(
         "Fig. 2",
@@ -174,4 +189,6 @@ fn main() {
         ),
         Some("~12x"),
     );
+
+    opts.write_outputs("fig2_droop", &recorder);
 }

@@ -3,12 +3,16 @@
 //!
 //! Run with `cargo run -p wsp-bench --bin fig4_clock`.
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
 use wsp_clock::{forwarding::fig4_scenario, DccUnit, DutyCycleModel, ForwardingSim};
 use wsp_common::seeded_rng;
+use wsp_telemetry::{SharedRecorder, Sink};
 use wsp_topo::{FaultMap, TileArray};
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     header(
         "Fig. 4",
         "clock forwarding on an 8x8 array with 6 faulty tiles",
@@ -26,6 +30,8 @@ fn main() {
             .join("\n")
     );
     println!("  (G generator, arrows = selected input side, X faulty, ? unclocked)");
+    sink.gauge_set("clock.fig4.clocked_tiles", plan.clocked_count() as f64);
+    sink.gauge_set("clock.fig4.setup_cycles", plan.setup_cycles() as f64);
     result_line(
         "clocked tiles",
         plan.clocked_count(),
@@ -44,12 +50,13 @@ fn main() {
     );
     row(&["faults", "mean unclocked healthy tiles", "coverage %"]);
     let array = TileArray::new(32, 32);
-    let mut rng = seeded_rng(101);
+    let mut rng = seeded_rng(opts.seed_or(101));
+    let maps_per_point = if opts.smoke { 10 } else { 100 };
     for faults_n in [0usize, 5, 10, 20, 40, 80] {
         let mut unclocked_total = 0usize;
         let mut healthy_total = 0usize;
         let mut trials = 0;
-        for _ in 0..100 {
+        for _ in 0..maps_per_point {
             let map = FaultMap::sample_uniform(array, faults_n, &mut rng);
             let Some(generator) = array.edge_tiles().find(|&t| map.is_healthy(t)) else {
                 continue;
@@ -63,6 +70,7 @@ fn main() {
         }
         let mean = unclocked_total as f64 / trials as f64;
         let coverage = 100.0 * (1.0 - unclocked_total as f64 / healthy_total as f64);
+        sink.gauge_set(&format!("clock.coverage.{faults_n}_faults_pct"), coverage);
         row(&[
             format!("{faults_n}"),
             format!("{mean:.3}"),
@@ -85,10 +93,15 @@ fn main() {
         ("inversion + DCC (paper)", DutyCycleModel::paper_model()),
     ];
     for (name, model) in configs {
-        let hops = match model.max_hops(1000) {
+        let max_hops = model.max_hops(1000);
+        let hops = match max_hops {
             Some(h) => format!("{h}"),
             None => ">1000".to_string(),
         };
+        sink.gauge_set(
+            &format!("clock.duty_cycle.{}.max_hops", metric_key(name)),
+            max_hops.map_or(1000.0, |h| h as f64),
+        );
         row(&[
             name.to_string(),
             hops,
@@ -100,4 +113,6 @@ fn main() {
         "clock dead after 9 hops without mitigation",
         Some("\"a 5% distortion per tile could kill the clock with in just 10 tiles\""),
     );
+
+    opts.write_outputs("fig4_clock", &recorder);
 }

@@ -7,13 +7,17 @@
 use wsp_assembly::{
     compare_approaches, BondingModel, ChipletKind, DefectModel, IoCell, PadFrame, RedundancyScheme,
 };
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
 use wsp_common::seeded_rng;
 use wsp_common::units::SquareMillimeters;
 use wsp_common::units::{Hertz, Micrometers};
+use wsp_telemetry::{SharedRecorder, Sink};
 use wsp_topo::TileArray;
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     header("Sec. V", "I/O cell properties");
     let cell = IoCell::paper_cell();
     result_line(
@@ -78,6 +82,15 @@ fn main() {
     ]);
     for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {
         let m = BondingModel::paper_compute_chiplet(scheme);
+        let key = metric_key(&scheme.to_string());
+        sink.gauge_set(
+            &format!("assembly.{key}.chiplet_yield_pct"),
+            m.chiplet_yield() * 100.0,
+        );
+        sink.gauge_set(
+            &format!("assembly.{key}.expected_faulty_per_2048"),
+            m.expected_faulty_chiplets(2048),
+        );
         row(&[
             scheme.to_string(),
             format!("{:.6}%", m.pad_yield() * 100.0),
@@ -97,15 +110,23 @@ fn main() {
     );
     row(&["scheme", "mean faulty tiles/wafer", "closed form"]);
     let array = TileArray::new(32, 32);
+    let wafers = if opts.smoke { 10 } else { 50 };
     for scheme in [RedundancyScheme::SinglePillar, RedundancyScheme::DualPillar] {
         let model = BondingModel::paper_compute_chiplet(scheme);
-        let mut rng = seeded_rng(55);
-        let total: usize = (0..50)
+        let mut rng = seeded_rng(opts.seed_or(55));
+        let total: usize = (0..wafers)
             .map(|_| model.assemble_wafer(array, &mut rng).faulty_count())
             .sum();
+        sink.gauge_set(
+            &format!(
+                "assembly.{}.mc_mean_faulty_per_wafer",
+                metric_key(&scheme.to_string())
+            ),
+            total as f64 / wafers as f64,
+        );
         row(&[
             scheme.to_string(),
-            format!("{:.2}", total as f64 / 50.0),
+            format!("{:.2}", total as f64 / wafers as f64),
             format!("{:.2}", model.expected_faulty_chiplets(1024)),
         ]);
     }
@@ -125,6 +146,10 @@ fn main() {
         "chiplet die yield (11 mm^2 at 0.25 D/cm^2)",
         format!("{:.2}%", cmp.chiplet_die_yield * 100.0),
         None,
+    );
+    sink.gauge_set(
+        "assembly.chiplet_system_yield_pct",
+        cmp.chiplet_system_yield * 100.0,
     );
     result_line(
         "chiplet system yield (<=5 dead tiles tolerated)",
@@ -157,4 +182,6 @@ fn main() {
             None,
         );
     }
+
+    opts.write_outputs("fig5_yield", &recorder);
 }

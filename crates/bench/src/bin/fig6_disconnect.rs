@@ -6,11 +6,15 @@
 //!
 //! Run with `cargo run --release -p wsp-bench --bin fig6_disconnect`.
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_noc::ConnectivitySweep;
+use wsp_telemetry::{SharedRecorder, Sink};
 
 fn main() {
-    let trials = 200;
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
+    let trials = if opts.smoke { 20 } else { 200 };
     let sweep = ConnectivitySweep::paper_sweep(trials);
     let fault_counts: Vec<usize> = (0..=10).collect();
 
@@ -29,11 +33,12 @@ fn main() {
     // One worker per fault count; run_point is deterministic per
     // (seed, point) so the parallel sweep reproduces a serial one.
     let mut points = vec![None; fault_counts.len()];
+    let seed = opts.seed_or(42);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &count in &fault_counts {
             let sweep = &sweep;
-            handles.push(scope.spawn(move || sweep.run_point(count, 42)));
+            handles.push(scope.spawn(move || sweep.run_point(count, seed)));
         }
         for (i, handle) in handles.into_iter().enumerate() {
             points[i] = Some(handle.join().expect("worker completes"));
@@ -46,6 +51,15 @@ fn main() {
         } else {
             "-".to_string()
         };
+        let n = point.faulty_chiplets;
+        sink.gauge_set(
+            &format!("noc.disconnect.{n}_faults.single_pct"),
+            point.single_network * 100.0,
+        );
+        sink.gauge_set(
+            &format!("noc.disconnect.{n}_faults.dual_pct"),
+            point.dual_network * 100.0,
+        );
         row(&[
             format!("{}", point.faulty_chiplets),
             format!("{:.2}", point.single_network * 100.0),
@@ -66,7 +80,7 @@ fn main() {
     );
     row(&["faulty chiplets", "dual DoR %", "odd-even adaptive %"]);
     let array = wsp_topo::TileArray::new(16, 16);
-    let mut rng = wsp_common::seeded_rng(13);
+    let mut rng = wsp_common::seeded_rng(opts.seed_or(13));
     for count in [2usize, 5, 10, 15] {
         let mut dual = 0.0;
         let mut oe = 0.0;
@@ -82,4 +96,6 @@ fn main() {
             format!("{:.3}", oe / trials as f64 * 100.0),
         ]);
     }
+
+    opts.write_outputs("fig6_disconnect", &recorder);
 }

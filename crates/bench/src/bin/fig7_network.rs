@@ -4,14 +4,22 @@
 //! intermediate tiles.
 //!
 //! Run with `cargo run --release -p wsp-bench --bin fig7_network`.
+//! Accepts `--json <path>` (metrics report), `--seed <u64>` (fault /
+//! traffic RNG), and `--smoke` (reduced request counts).
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
 use wsp_common::seeded_rng;
 use wsp_noc::{NocSim, RoutePlanner, SimConfig, TrafficPattern};
+use wsp_telemetry::{SharedRecorder, Sink};
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     let array = TileArray::new(16, 16);
+    let requests: u64 = if opts.smoke { 100 } else { 1000 };
+    let seed = opts.seed_or(7);
 
     header(
         "Fig. 7",
@@ -20,7 +28,7 @@ fn main() {
     row(&[
         "scenario", "requests", "RTT mean", "RTT max", "relays", "drained",
     ]);
-    let mut rng = seeded_rng(7);
+    let mut rng = seeded_rng(seed);
     let scenarios: Vec<(&str, FaultMap)> = vec![
         ("clean 16x16", FaultMap::none(array)),
         (
@@ -34,7 +42,21 @@ fn main() {
     ];
     for (name, faults) in scenarios {
         let mut sim = NocSim::new(faults, SimConfig::default());
-        let report = sim.run(TrafficPattern::UniformRandom, 1000, &mut rng);
+        let report = sim.run(TrafficPattern::UniformRandom, requests, &mut rng);
+        let key = metric_key(name);
+        sink.counter_add(
+            &format!("noc.{key}.requests_injected"),
+            report.requests_injected,
+        );
+        sink.counter_add(&format!("noc.{key}.relay_forwards"), report.relay_forwards);
+        sink.gauge_set(
+            &format!("noc.{key}.mean_round_trip_cycles"),
+            report.mean_round_trip_latency(),
+        );
+        sink.gauge_set(
+            &format!("noc.{key}.max_round_trip_cycles"),
+            report.max_round_trip_latency as f64,
+        );
         row(&[
             name.to_string(),
             format!("{}", report.requests_injected),
@@ -68,7 +90,33 @@ fn main() {
         ),
     ] {
         let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
-        let report = sim.run(pattern, 1000, &mut rng);
+        let report = sim.run(pattern, requests, &mut rng);
+        let key = metric_key(name);
+        sink.gauge_set(
+            &format!("noc.{key}.mean_request_cycles"),
+            report.mean_request_latency(),
+        );
+        sink.gauge_set(
+            &format!("noc.{key}.throughput_pkt_per_cycle"),
+            report.throughput(),
+        );
+        sink.counter_add(
+            &format!("noc.{key}.injection_backpressure"),
+            report.injection_backpressure,
+        );
+        // The hot-spot run is the interesting heat map: export the full
+        // per-link fabric metrics for it.
+        if matches!(pattern, TrafficPattern::HotSpot { .. }) {
+            sim.fabric().export_metrics(&mut sink);
+            if let Some((net, tile, dir, count)) = sim.fabric().hottest_link() {
+                sink.gauge_set("fabric.hottest_link.forwarded", count as f64);
+                result_line(
+                    "hottest link (hot spot)",
+                    format!("{net:?} {tile} {dir} ({count} packets)"),
+                    None,
+                );
+            }
+        }
         row(&[
             name.to_string(),
             format!("{:.1}", report.mean_request_latency()),
@@ -81,12 +129,19 @@ fn main() {
         "Sec. VI",
         "kernel network selection over a faulty wafer (32x32, 5 faults)",
     );
-    let mut rng = seeded_rng(11);
+    let mut rng = seeded_rng(seed + 4);
     let faults = FaultMap::sample_uniform(TileArray::new(32, 32), 5, &mut rng);
     let planner = RoutePlanner::new(faults);
     let table = planner.build_table();
     let (xy, yx, relay, dead) = table.utilization();
     let total = table.len() as f64;
+    sink.gauge_set("noc.kernel.pairs_xy_pct", xy as f64 / total * 100.0);
+    sink.gauge_set("noc.kernel.pairs_yx_pct", yx as f64 / total * 100.0);
+    sink.gauge_set("noc.kernel.pairs_relay_pct", relay as f64 / total * 100.0);
+    sink.gauge_set(
+        "noc.kernel.pairs_disconnected_pct",
+        dead as f64 / total * 100.0,
+    );
     result_line(
         "pairs on X-Y network",
         format!("{:.1}%", xy as f64 / total * 100.0),
@@ -107,4 +162,6 @@ fn main() {
         format!("{:.2}%", dead as f64 / total * 100.0),
         Some("<2% even before relaying"),
     );
+
+    opts.write_outputs("fig7_network", &recorder);
 }

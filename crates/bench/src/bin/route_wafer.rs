@@ -6,11 +6,15 @@
 
 use std::time::Instant;
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
 use wsp_route::{check_route, LayerMode, RouterConfig, WaferNetlist};
+use wsp_telemetry::{SharedRecorder, Sink};
 use wsp_topo::TileArray;
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     let array = TileArray::new(32, 32);
     let netlist = WaferNetlist::generate(array);
 
@@ -38,6 +42,27 @@ fn main() {
         let report = config.route(&netlist).expect("same array");
         let elapsed = start.elapsed();
         let violations = check_route(&report, &config);
+        let key = metric_key(&format!("{mode:?}"));
+        sink.counter_add(
+            &format!("route.{key}.routed_nets"),
+            report.routed().len() as u64,
+        );
+        sink.counter_add(
+            &format!("route.{key}.failed_nets"),
+            report.failed_nets() as u64,
+        );
+        sink.gauge_set(
+            &format!("route.{key}.wirelength_m"),
+            report.total_wirelength_m(),
+        );
+        sink.gauge_set(
+            &format!("route.{key}.drc_violations"),
+            violations.len() as f64,
+        );
+        sink.gauge_set(
+            &format!("route.{key}.runtime_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
         row(&[
             format!("{mode:?}"),
             format!("{}", report.routed().len()),
@@ -79,10 +104,17 @@ fn main() {
         "overloaded channels are reported, not hidden (shrunken capacity)",
     );
     row(&["vertical tracks/layer", "failed nets"]);
-    for tracks in [480u32, 440, 410, 405, 300] {
+    let ablation: &[u32] = if opts.smoke {
+        &[480, 405]
+    } else {
+        &[480, 440, 410, 405, 300]
+    };
+    for &tracks in ablation {
         let config =
             RouterConfig::paper_config(array, LayerMode::DualLayer).with_vertical_tracks(tracks);
         let report = config.route(&netlist).expect("routes");
         row(&[format!("{tracks}"), format!("{}", report.failed_nets())]);
     }
+
+    opts.write_outputs("route_wafer", &recorder);
 }

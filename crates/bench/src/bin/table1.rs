@@ -5,10 +5,26 @@
 
 use waferscale::SystemConfig;
 use wsp_assembly::ChipletKind;
-use wsp_bench::{header, result_line};
+use wsp_bench::{header, result_line, BenchOpts};
+use wsp_telemetry::{SharedRecorder, Sink};
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     let cfg = SystemConfig::paper_prototype();
+    sink.gauge_set("system.compute_chiplets", cfg.compute_chiplets() as f64);
+    sink.gauge_set("system.total_cores", cfg.total_cores() as f64);
+    sink.gauge_set(
+        "system.network_bandwidth_tbps",
+        cfg.network_bandwidth() / 1e12,
+    );
+    sink.gauge_set(
+        "system.compute_throughput_tops",
+        cfg.compute_throughput_tops(),
+    );
+    sink.gauge_set("system.total_peak_power_w", cfg.total_peak_power().value());
+    sink.gauge_set("system.total_area_mm2", cfg.total_area().value());
 
     header(
         "Table I",
@@ -86,4 +102,6 @@ fn main() {
         format!("{:.2} M", cfg.total_ios() as f64 / 1e6),
         Some("3.7M+ (Sec. VII-B)"),
     );
+
+    opts.write_outputs("table1", &recorder);
 }

@@ -3,11 +3,15 @@
 //!
 //! Run with `cargo run -p wsp-bench --bin test_time`.
 
-use wsp_bench::{header, result_line, row};
+use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_common::units::Hertz;
 use wsp_dft::TestSchedule;
+use wsp_telemetry::{SharedRecorder, Sink};
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
     let bytes = TestSchedule::PAPER_TOTAL_LOAD_BYTES;
 
     header(
@@ -27,6 +31,7 @@ fn main() {
     for chains in [1u32, 2, 4, 8, 16, 32] {
         let schedule = TestSchedule::new(chains, TestSchedule::PAPER_TCK, false);
         let t = schedule.memory_load_time(bytes);
+        sink.gauge_set(&format!("dft.load.{chains}_chains_minutes"), t.as_minutes());
         let human = if t.as_hours() >= 1.0 {
             format!("{:.2} h", t.as_hours())
         } else {
@@ -70,4 +75,9 @@ fn main() {
             format!("{:.1}", schedule.memory_load_time(bytes).as_minutes()),
         ]);
     }
+
+    // The trace view of the same story: one shift span per row chain for
+    // a 16 KB kernel image load on the paper's 32-chain configuration.
+    TestSchedule::paper_multichain().trace_load(16 * 1024, &mut sink);
+    opts.write_outputs("test_time", &recorder);
 }

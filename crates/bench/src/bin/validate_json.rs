@@ -1,0 +1,121 @@
+//! Validates the machine-readable artefacts the other regenerator
+//! binaries emit: `--json` metrics reports and `--trace` Chrome traces.
+//!
+//! Run with `cargo run -p wsp-bench --bin validate_json -- <file>...`.
+//! A file named `TRACE_*` (or ending in a `trace` stem) is checked as a
+//! Chrome trace; everything else as a metrics report. Exits non-zero on
+//! the first missing, unparsable, or schema-violating file — this is
+//! the CI gate behind `scripts/bench.sh`.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+use wsp_telemetry::REPORT_SCHEMA;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_json <file>...");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match validate(path) {
+            Ok(summary) => println!("ok: {path} ({summary})"),
+            Err(msg) => {
+                eprintln!("FAIL: {path}: {msg}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn validate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let name = path.rsplit('/').next().unwrap_or(path).to_lowercase();
+    if name.contains("trace") {
+        validate_trace(&doc)
+    } else {
+        validate_report(&doc)
+    }
+}
+
+/// A metrics report: correct schema tag, a bench name, and at least one
+/// recorded metric in some family.
+fn validate_report(doc: &Value) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != REPORT_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {REPORT_SCHEMA:?}"));
+    }
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("missing \"bench\"")?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_object)
+        .ok_or("missing \"metrics\" object")?;
+    let mut total = 0usize;
+    for family in ["counters", "gauges", "histograms", "series"] {
+        let map = metrics
+            .get(family)
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("missing \"metrics.{family}\" object"))?;
+        total += map.len();
+    }
+    if total == 0 {
+        return Err("report records no metrics at all".to_string());
+    }
+    Ok(format!("bench {bench:?}, {total} metrics"))
+}
+
+/// A Chrome trace: a non-empty `traceEvents` array whose events all
+/// carry name/cat/ph/ts, spanning at least three subsystem categories.
+fn validate_trace(doc: &Value) -> Result<String, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing \"traceEvents\" array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut categories = std::collections::BTreeSet::new();
+    for (i, event) in events.iter().enumerate() {
+        for field in ["name", "cat", "ph"] {
+            if event.get(field).and_then(Value::as_str).is_none() {
+                return Err(format!("event {i} missing string field {field:?}"));
+            }
+        }
+        if event.get("ts").and_then(Value::as_f64).is_none() {
+            return Err(format!("event {i} missing numeric \"ts\""));
+        }
+        categories.insert(
+            event
+                .get("cat")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    if categories.len() < 3 {
+        return Err(format!(
+            "only {} trace categories ({:?}), expected >= 3 subsystems",
+            categories.len(),
+            categories
+        ));
+    }
+    Ok(format!(
+        "{} events across categories: {}",
+        events.len(),
+        categories.into_iter().collect::<Vec<_>>().join(", ")
+    ))
+}

@@ -3,20 +3,35 @@
 //! experiments), with scaling across tile counts and fault injection.
 //!
 //! Run with `cargo run --release -p wsp-bench --bin workloads`.
+//! Accepts `--json <path>` (metrics report), `--trace <path>` (Chrome
+//! trace of an instrumented stencil machine run spanning the machine,
+//! fabric, PDN, clock, and DfT subsystems), `--seed <u64>`, and
+//! `--smoke` (reduced graph sizes).
 
 use waferscale::workload::{
     reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind, StencilGrid,
 };
-use waferscale::{SystemConfig, WaferscaleSystem};
-use wsp_bench::{header, result_line, row};
+use waferscale::{LatencyModel, MultiTileMachine, SystemConfig, WaferscaleSystem};
+use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
+use wsp_clock::ClockSelector;
 use wsp_common::seeded_rng;
-use wsp_topo::{FaultMap, TileArray};
+use wsp_common::units::Amps;
+use wsp_dft::TestSchedule;
+use wsp_pdn::{LoadModel, PdnConfig};
+use wsp_telemetry::{SharedRecorder, Sink};
+use wsp_tile::isa::{Program, Reg};
+use wsp_topo::{Direction, FaultMap, TileArray, TileCoord};
 
 fn main() {
-    let mut rng = seeded_rng(1234);
+    let opts = BenchOpts::from_env();
+    let recorder = SharedRecorder::new();
+    let mut sink = recorder.clone();
+    let mut rng = seeded_rng(opts.seed_or(1234));
+    let bfs_vertices = if opts.smoke { 2_000 } else { 20_000 };
+    let small_vertices = if opts.smoke { 1_000 } else { 5_000 };
     let graph = Graph::generate(
         GraphKind::UniformRandom { avg_degree: 16 },
-        20_000,
+        bfs_vertices,
         &mut rng,
     );
 
@@ -32,11 +47,18 @@ fn main() {
         "remote msgs",
         "correct",
     ]);
-    for n in [2u16, 4, 8, 16] {
+    let sizes: &[u16] = if opts.smoke { &[2, 4] } else { &[2, 4, 8, 16] };
+    for &n in sizes {
         let cfg = SystemConfig::with_array(TileArray::new(n, n));
         let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
         let (dist, report) = run_bfs(&system, &graph, 0).expect("runs");
         let correct = dist == graph.reference_bfs(0);
+        sink.gauge_set(&format!("machine.bfs.{n}x{n}.cycles"), report.cycles as f64);
+        sink.gauge_set(&format!("machine.bfs.{n}x{n}.mteps"), report.mteps(&cfg));
+        sink.counter_add(
+            &format!("machine.bfs.{n}x{n}.remote_messages"),
+            report.remote_messages,
+        );
         row(&[
             format!("{n}x{n}"),
             format!("{}", cfg.total_cores()),
@@ -56,8 +78,14 @@ fn main() {
         ("grid 2-D", GraphKind::Grid2d),
         ("power law d=8", GraphKind::PowerLaw { avg_degree: 8 }),
     ] {
-        let g = Graph::generate(kind, 5000, &mut rng);
+        let g = Graph::generate(kind, small_vertices, &mut rng);
         let (dist, report) = run_sssp(&system, &g, 0).expect("runs");
+        let key = metric_key(name);
+        sink.gauge_set(&format!("machine.sssp.{key}.cycles"), report.cycles as f64);
+        sink.counter_add(
+            &format!("machine.sssp.{key}.edges_relaxed"),
+            report.edges_relaxed,
+        );
         row(&[
             name.to_string(),
             format!("{}", report.supersteps),
@@ -79,8 +107,13 @@ fn main() {
             ("uniform d=8", GraphKind::UniformRandom { avg_degree: 8 }),
             ("power law d=8", GraphKind::PowerLaw { avg_degree: 8 }),
         ] {
-            let g = Graph::generate(kind, 5000, &mut rng);
+            let g = Graph::generate(kind, small_vertices, &mut rng);
             let (ranks, report) = run_pagerank(&system, &g, 20).expect("runs");
+            let key = metric_key(name);
+            sink.gauge_set(
+                &format!("machine.pagerank.{key}.cycles"),
+                report.cycles as f64,
+            );
             row(&[
                 name.to_string(),
                 format!("{}", report.cycles),
@@ -101,20 +134,26 @@ fn main() {
         "wall time (ms)",
         "correct",
     ]);
-    let mut hot = StencilGrid::new(256, 256);
-    for y in 0..256 {
+    let (grid_n, iters) = if opts.smoke { (64, 10) } else { (256, 100) };
+    let mut hot = StencilGrid::new(grid_n, grid_n);
+    for y in 0..grid_n {
         hot.set(0, y, 100.0);
     }
-    for n in [2u16, 4, 8] {
+    let stencil_sizes: &[u16] = if opts.smoke { &[2, 4] } else { &[2, 4, 8] };
+    for &n in stencil_sizes {
         let cfg = SystemConfig::with_array(TileArray::new(n, n));
         let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
-        let (result, report) = run_stencil(&system, &hot, 100).expect("runs");
+        let (result, report) = run_stencil(&system, &hot, iters).expect("runs");
+        sink.gauge_set(
+            &format!("machine.stencil.{n}x{n}.cycles"),
+            report.cycles as f64,
+        );
         row(&[
             format!("{n}x{n}"),
             format!("{}", report.cycles),
-            format!("{}", report.remote_messages / 100),
+            format!("{}", report.remote_messages / iters as u64),
             format!("{:.3}", report.wall_time(&cfg).value() * 1e3),
-            format!("{}", result == hot.reference_jacobi(100)),
+            format!("{}", result == hot.reference_jacobi(iters)),
         ]);
     }
 
@@ -131,16 +170,30 @@ fn main() {
     ]);
     let g = Graph::generate(
         GraphKind::UniformRandom { avg_degree: 12 },
-        10_000,
+        bfs_vertices / 2,
         &mut rng,
     );
     let base_cfg = SystemConfig::with_array(TileArray::new(8, 8));
     let mut base_cycles = None;
     for faults_n in [0usize, 2, 4, 8] {
-        let faults = FaultMap::sample_uniform(base_cfg.array(), faults_n, &mut rng);
-        let system = WaferscaleSystem::with_faults(base_cfg, faults);
-        let (dist, report) = run_bfs(&system, &g, 0).expect("runs");
+        // A sampled map can wall healthy tiles off from the rest of the
+        // wafer, which legitimately makes some graph owners unreachable;
+        // resample until the kernel can route (bounded to stay loud on
+        // systematic failures).
+        let (system, dist, report) = (0..32)
+            .find_map(|_| {
+                let faults = FaultMap::sample_uniform(base_cfg.array(), faults_n, &mut rng);
+                let system = WaferscaleSystem::with_faults(base_cfg, faults);
+                run_bfs(&system, &g, 0)
+                    .ok()
+                    .map(|(dist, report)| (system, dist, report))
+            })
+            .expect("a connected fault map within 32 samples");
         let base = *base_cycles.get_or_insert(report.cycles);
+        sink.gauge_set(
+            &format!("machine.bfs_faults.{faults_n}.slowdown"),
+            report.cycles as f64 / base as f64,
+        );
         row(&[
             format!("{faults_n}"),
             format!("{}", system.faults().healthy_count() * 14),
@@ -154,4 +207,127 @@ fn main() {
         "answers stay correct under faults; only performance degrades",
         Some("the kernel reroutes around the fault map"),
     );
+
+    traced_stencil_run(&recorder);
+    opts.write_outputs("workloads", &recorder);
+}
+
+/// The instrumented showcase run behind `--trace`: a 4×4 multi-tile
+/// machine executes a halo-exchange stencil on the cycle-level fabric
+/// with machine and fabric sinks installed, a clock-selection bring-up
+/// and a DfT program load are traced alongside it, and the machine's
+/// per-tile activity drives a traced PDN solve — one timeline covering
+/// five subsystems.
+fn traced_stencil_run(recorder: &SharedRecorder) {
+    const N: u16 = 4;
+    const HALO_WORDS: u32 = 8;
+    let mut sink = recorder.clone();
+
+    header(
+        "Telemetry",
+        "traced stencil run (machine + fabric + pdn + clock + dft)",
+    );
+
+    // Clock bring-up: the west edge generates, every other tile locks
+    // onto its west neighbour's forwarded clock in a sweep.
+    let array = TileArray::new(N, N);
+    for tile in array.tiles() {
+        let track = u64::from(tile.y) * u64::from(N) + u64::from(tile.x);
+        let at = u64::from(tile.x) * 20;
+        let mut sel = ClockSelector::new();
+        if tile.x == 0 {
+            sel.configure_as_generator_traced(&mut sink, track, at);
+        } else {
+            sel.begin_auto_selection_traced(&mut sink, track, at);
+            for i in 0..ClockSelector::DEFAULT_TOGGLE_COUNT {
+                sel.observe_toggle_traced(Direction::West, &mut sink, track, at + 1 + u64::from(i));
+            }
+        }
+    }
+
+    // DfT: the program load that precedes execution.
+    TestSchedule::paper_multichain().trace_load(16 * 1024, &mut sink);
+
+    // The halo-exchange machine, fully instrumented.
+    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
+    let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+    m.set_sink(recorder.boxed());
+    m.fabric_mut().set_sink(recorder.boxed());
+    for y in 0..N {
+        for x in 0..N {
+            let east = TileCoord::new((x + 1) % N, y);
+            for core in 0..2u32 {
+                let base = m.global_address(east, core * 64).expect("mapped");
+                let program = Program::builder()
+                    .ldi(Reg::R1, base)
+                    .ldi(Reg::R5, 0)
+                    .ldi(Reg::R3, HALO_WORDS)
+                    .ldi(Reg::R0, 0)
+                    .label("halo")
+                    .ld(Reg::R2, Reg::R1, 0)
+                    .add(Reg::R5, Reg::R5, Reg::R2)
+                    .addi(Reg::R1, Reg::R1, 4)
+                    .addi(Reg::R3, Reg::R3, -1)
+                    .bne(Reg::R3, Reg::R0, "halo")
+                    .halt()
+                    .build()
+                    .expect("builds");
+                m.load_program(TileCoord::new(x, y), core as usize, &program)
+                    .expect("loads");
+            }
+        }
+    }
+    let stats = m.run_until_halt(1_000_000).expect("halts");
+    m.export_metrics(&mut sink);
+    result_line(
+        "stencil machine",
+        format!(
+            "{} cycles, {} remote accesses, mean RTT {:.1} cycles",
+            stats.cycles,
+            stats.remote_accesses,
+            stats.mean_remote_latency()
+        ),
+        None,
+    );
+
+    // The machine's activity becomes the PDN's per-tile load: busy tiles
+    // (by retired instructions) draw peak current, idle ones leakage.
+    let activity = m.per_tile_activity();
+    let max_retired = activity.iter().map(|&(r, _)| r).max().unwrap_or(1).max(1);
+    let peak = PdnConfig::PAPER_TILE_CURRENT;
+    let currents: Vec<Amps> = activity
+        .iter()
+        .map(|&(retired, _)| {
+            Amps(peak.value() * (0.05 + 0.95 * retired as f64 / max_retired as f64))
+        })
+        .collect();
+    let pdn = PdnConfig::new(
+        array,
+        PdnConfig::PAPER_SUPPLY,
+        PdnConfig::PAPER_LOOP_SHEET_RESISTANCE,
+        wsp_common::units::Ohms::from_milliohms(1.0),
+        LoadModel::ConstantCurrent(peak),
+        [true; 4],
+    );
+    let sol = pdn
+        .solve_with_tile_currents_traced(&currents, &mut sink)
+        .expect("converges");
+    result_line(
+        "activity-driven PDN",
+        format!(
+            "min tile voltage {:.3} V after {} SOR iterations",
+            sol.min_voltage().value(),
+            sol.iterations()
+        ),
+        None,
+    );
+
+    let categories = recorder.with(|r| {
+        r.tracer
+            .categories()
+            .into_iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    });
+    result_line("trace categories", categories.join(", "), None);
 }

@@ -6,6 +6,139 @@
 //! regenerator prints comparable, grep-friendly output.
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+
+use wsp_telemetry::SharedRecorder;
+
+/// Common CLI options of the regenerator binaries.
+///
+/// Every binary accepts:
+///
+/// - `--json <path>` — write the run's metrics as a
+///   [`wsp_telemetry::REPORT_SCHEMA`] JSON report;
+/// - `--trace <path>` — write the run's Chrome trace-event JSON
+///   (binaries without event sources write an empty trace);
+/// - `--seed <u64>` — override the deterministic RNG seed (binaries
+///   without randomness ignore it);
+/// - `--smoke` — shrink the workload to a seconds-scale smoke run.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_bench::BenchOpts;
+///
+/// let opts = BenchOpts::parse(
+///     ["--json", "out.json", "--seed", "42", "--smoke"]
+///         .iter()
+///         .map(ToString::to_string),
+/// )
+/// .expect("valid args");
+/// assert_eq!(opts.seed_or(7), 42);
+/// assert!(opts.smoke);
+/// assert_eq!(opts.json.as_deref(), Some(std::path::Path::new("out.json")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Where to write the metrics report, if requested.
+    pub json: Option<PathBuf>,
+    /// Where to write the Chrome trace, if requested.
+    pub trace: Option<PathBuf>,
+    /// Seed override for the binary's deterministic RNG streams.
+    pub seed: Option<u64>,
+    /// Whether to run the reduced smoke workload.
+    pub smoke: bool,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments, exiting with usage on bad input.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: [--json <path>] [--trace <path>] [--seed <u64>] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator (program name already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown flag, missing value, or
+    /// unparsable seed.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = BenchOpts::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let path = args.next().ok_or("--json requires a path")?;
+                    opts.json = Some(PathBuf::from(path));
+                }
+                "--trace" => {
+                    let path = args.next().ok_or("--trace requires a path")?;
+                    opts.trace = Some(PathBuf::from(path));
+                }
+                "--seed" => {
+                    let raw = args.next().ok_or("--seed requires a value")?;
+                    let seed = raw
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid seed {raw:?}"))?;
+                    opts.seed = Some(seed);
+                }
+                "--smoke" => opts.smoke = true,
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The seed to use: the `--seed` override, else `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Writes the requested outputs from `recorder`: the metrics report
+    /// to `--json` and the Chrome trace to `--trace`, printing each path
+    /// written. A no-op for outputs that were not requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a requested output file cannot be written — a bench
+    /// run that cannot deliver its artefact should fail loudly.
+    pub fn write_outputs(&self, bench: &str, recorder: &SharedRecorder) {
+        if let Some(path) = &self.json {
+            write_file(path, &recorder.metrics_json(bench));
+            println!("  wrote metrics report: {}", path.display());
+        }
+        if let Some(path) = &self.trace {
+            write_file(path, &recorder.trace_json());
+            println!("  wrote Chrome trace:   {}", path.display());
+        }
+    }
+}
+
+fn write_file(path: &Path, contents: &str) {
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Turns a human-readable label into a metric-name segment: lowercase,
+/// alphanumerics kept, everything else collapsed to single underscores
+/// (`"hot spot (8,8)"` → `"hot_spot_8_8"`).
+pub fn metric_key(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
 
 /// Prints a section header for a regenerated artefact.
 ///
@@ -44,5 +177,60 @@ mod tests {
         row(&["a", "b", "c"]);
         result_line("cores", 14_336, Some("14,336"));
         result_line("tiles", 1024, None);
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchOpts, String> {
+        BenchOpts::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn opts_parse_all_flags() {
+        let opts = parse(&[
+            "--json", "a.json", "--trace", "t.json", "--seed", "9", "--smoke",
+        ])
+        .expect("valid");
+        assert_eq!(opts.json.as_deref(), Some(Path::new("a.json")));
+        assert_eq!(opts.trace.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(opts.seed, Some(9));
+        assert!(opts.smoke);
+        assert_eq!(opts.seed_or(7), 9);
+        assert_eq!(parse(&[]).expect("empty ok").seed_or(7), 7);
+    }
+
+    #[test]
+    fn opts_reject_bad_input() {
+        assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn metric_keys_are_snake_case() {
+        assert_eq!(metric_key("hot spot (8,8)"), "hot_spot_8_8");
+        assert_eq!(metric_key("uniform d=8"), "uniform_d_8");
+        assert_eq!(metric_key("clean 16x16"), "clean_16x16");
+        assert_eq!(metric_key("  "), "");
+    }
+
+    #[test]
+    fn write_outputs_produces_parsable_files() {
+        use wsp_telemetry::Sink;
+
+        let dir = std::env::temp_dir().join(format!("wsp-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let recorder = SharedRecorder::new();
+        recorder.clone().counter_add("x", 1);
+        let opts = BenchOpts {
+            json: Some(dir.join("m.json")),
+            trace: Some(dir.join("t.json")),
+            seed: None,
+            smoke: false,
+        };
+        opts.write_outputs("unit", &recorder);
+        for name in ["m.json", "t.json"] {
+            let text = std::fs::read_to_string(dir.join(name)).expect("written");
+            serde_json::from_str(&text).expect("parses");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -187,6 +187,77 @@ impl ClockSelector {
     pub fn reset(&mut self) {
         *self = ClockSelector::with_toggle_target(self.toggle_target);
     }
+
+    /// [`ClockSelector::begin_auto_selection`] emitting a `clock`
+    /// phase-transition instant at time `at` on track `track` (by
+    /// convention the tile index).
+    pub fn begin_auto_selection_traced(
+        &mut self,
+        sink: &mut dyn wsp_telemetry::Sink,
+        track: u64,
+        at: u64,
+    ) {
+        let from = self.phase;
+        self.begin_auto_selection();
+        Self::emit_transition(sink, track, at, from, self.phase);
+    }
+
+    /// [`ClockSelector::configure_as_generator`] emitting a `clock`
+    /// phase-transition instant.
+    pub fn configure_as_generator_traced(
+        &mut self,
+        sink: &mut dyn wsp_telemetry::Sink,
+        track: u64,
+        at: u64,
+    ) {
+        let from = self.phase;
+        self.configure_as_generator();
+        Self::emit_transition(sink, track, at, from, self.phase);
+    }
+
+    /// [`ClockSelector::force_select`] emitting a `clock` phase-transition
+    /// instant.
+    pub fn force_select_traced(
+        &mut self,
+        source: ClockSource,
+        sink: &mut dyn wsp_telemetry::Sink,
+        track: u64,
+        at: u64,
+    ) {
+        let from = self.phase;
+        self.force_select(source);
+        Self::emit_transition(sink, track, at, from, self.phase);
+    }
+
+    /// [`ClockSelector::observe_toggle`] emitting a `clock`
+    /// phase-transition instant if this toggle caused the lock.
+    pub fn observe_toggle_traced(
+        &mut self,
+        from: Direction,
+        sink: &mut dyn wsp_telemetry::Sink,
+        track: u64,
+        at: u64,
+    ) -> Option<ClockSource> {
+        let phase_before = self.phase;
+        let locked = self.observe_toggle(from);
+        if locked.is_some() {
+            Self::emit_transition(sink, track, at, phase_before, self.phase);
+        }
+        locked
+    }
+
+    fn emit_transition(
+        sink: &mut dyn wsp_telemetry::Sink,
+        track: u64,
+        at: u64,
+        from: SelectorPhase,
+        to: SelectorPhase,
+    ) {
+        if from != to && sink.enabled() {
+            let name = format!("{from} -> {to}");
+            sink.instant("clock", &name, track, at, &[]);
+        }
+    }
 }
 
 impl Default for ClockSelector {
@@ -291,6 +362,39 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_toggle_target_rejected() {
         let _ = ClockSelector::with_toggle_target(0);
+    }
+
+    #[test]
+    fn traced_transitions_emit_clock_instants() {
+        use wsp_telemetry::{Recorder, Sink};
+
+        let mut recorder = Recorder::new();
+        let mut sel = ClockSelector::new();
+        sel.begin_auto_selection_traced(&mut recorder, 7, 0);
+        for i in 0..16 {
+            sel.observe_toggle_traced(Direction::West, &mut recorder, 7, 1 + i);
+        }
+        assert_eq!(sel.phase(), SelectorPhase::Locked);
+        // Exactly two transitions: boot→auto-selection and
+        // auto-selection→locked; the 15 non-locking toggles are silent.
+        let events = recorder.tracer.events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.category == "clock" && e.track == 7));
+        assert_eq!(events[0].name, "boot (JTAG) -> auto-selection");
+        assert_eq!(events[1].name, "auto-selection -> locked");
+
+        // Generator / force-select paths emit too; no-op transitions don't.
+        let mut gen = ClockSelector::new();
+        gen.configure_as_generator_traced(&mut recorder, 0, 5);
+        gen.force_select_traced(ClockSource::Master, &mut recorder, 0, 6);
+        assert_eq!(recorder.tracer.len(), 3, "locked -> locked is silent");
+
+        // A disabled sink records nothing and changes nothing.
+        let mut noop = wsp_telemetry::NoopSink;
+        let mut quiet = ClockSelector::new();
+        quiet.begin_auto_selection_traced(&mut noop, 0, 0);
+        assert_eq!(quiet.phase(), SelectorPhase::AutoSelection);
+        let _ = noop.enabled();
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use wsp_noc::{Fabric, FabricPacket, NetworkChoice, PacketKind, RoutePlanner};
+use wsp_telemetry::{NoopSink, Sink};
 use wsp_tile::{
     memory::GLOBAL_REGION_BYTES, AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState,
     Crossbar, MemoryChiplet, PendingAccess, StepError, GLOBAL_BASE,
@@ -95,6 +96,10 @@ pub struct MachineStats {
     /// Deepest router FIFO observed anywhere in the fabric (fabric model
     /// only).
     pub peak_link_occupancy: usize,
+    /// Bank-port arbitration denials: cycles an access (local, or a
+    /// remote request arriving at its owner) lost the crossbar and had to
+    /// retry.
+    pub bank_conflicts: u64,
 }
 
 impl MachineStats {
@@ -152,6 +157,11 @@ pub struct MultiTileMachine {
     remote_accesses: u64,
     network_stall_cycles: u64,
     remote_latency_total: u64,
+    bank_conflicts: u64,
+    /// Telemetry sink; [`NoopSink`] by default. Remote completions record
+    /// a latency histogram sample, bank denials bump a counter, and
+    /// [`MultiTileMachine::run_until_halt`] emits a `machine` run span.
+    sink: Box<dyn Sink>,
 }
 
 impl MultiTileMachine {
@@ -187,7 +197,23 @@ impl MultiTileMachine {
             remote_accesses: 0,
             network_stall_cycles: 0,
             remote_latency_total: 0,
+            bank_conflicts: 0,
+            sink: Box::new(NoopSink),
         }
+    }
+
+    /// Installs a telemetry sink for machine-level events (remote-latency
+    /// histogram, bank-conflict counter, run spans). Fabric-level link
+    /// telemetry is installed separately via
+    /// [`MultiTileMachine::fabric_mut`].
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sink = sink;
+    }
+
+    /// Mutable access to the shared fabric, e.g. to install its sink.
+    #[inline]
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
     }
 
     /// The shared network fabric (idle under
@@ -355,6 +381,10 @@ impl MultiTileMachine {
             .bank_of(offset)
             .expect("offset validated at issue");
         if !self.crossbars[owner_idx].request(bank) {
+            self.bank_conflicts += 1;
+            if self.sink.enabled() {
+                self.sink.counter_add("machine.bank_conflicts", 1);
+            }
             return false;
         }
         let memory = &mut self.memories[owner_idx];
@@ -422,8 +452,11 @@ impl MultiTileMachine {
             remote_accesses,
             network_stall_cycles,
             remote_latency_total,
+            bank_conflicts,
+            sink,
             ..
         } = self;
+        let telemetry_on = sink.enabled();
         let pending_slot = &mut pending[tile_idx][core_idx];
 
         // Decode helper over the split borrows.
@@ -462,7 +495,11 @@ impl MultiTileMachine {
                     }) if a == addr => {
                         *pending_slot = None;
                         *remote_accesses += 1;
-                        *remote_latency_total += cycles.saturating_sub(issued_at);
+                        let latency = cycles.saturating_sub(issued_at);
+                        *remote_latency_total += latency;
+                        if telemetry_on {
+                            sink.histogram_record("machine.remote_latency_cycles", latency);
+                        }
                         return Ok(BusGrant::Granted(value));
                     }
                     Some(PendingAccess::InFlight { addr: a, .. }) if a == addr => {
@@ -550,12 +587,20 @@ impl MultiTileMachine {
             // analytic remote accesses whose network timer expired.
             let bank = memories[owner_idx].bank_of(offset)?;
             if !crossbars[owner_idx].request(bank) {
+                *bank_conflicts += 1;
+                if telemetry_on {
+                    sink.counter_add("machine.bank_conflicts", 1);
+                }
                 return Ok(BusGrant::Stalled);
             }
             if let Some(issued_at) = completing_remote {
                 *pending_slot = None;
                 *remote_accesses += 1;
-                *remote_latency_total += cycles.saturating_sub(issued_at);
+                let latency = cycles.saturating_sub(issued_at);
+                *remote_latency_total += latency;
+                if telemetry_on {
+                    sink.histogram_record("machine.remote_latency_cycles", latency);
+                }
             } else {
                 *local_accesses += 1;
             }
@@ -591,6 +636,10 @@ impl MultiTileMachine {
             }
             self.step()?;
         }
+        if self.sink.enabled() {
+            self.sink
+                .span("machine", "run_until_halt", 0, start, self.cycles);
+        }
         Ok(self.stats())
     }
 
@@ -606,6 +655,50 @@ impl MultiTileMachine {
             relay_forwards: self.fabric.relay_forwards(),
             link_stall_cycles: self.fabric.total_stall_cycles(),
             peak_link_occupancy: self.fabric.peak_link_occupancy(),
+            bank_conflicts: self.bank_conflicts,
+        }
+    }
+
+    /// Per-tile `(instructions retired, core stall cycles)`, summed over
+    /// each tile's cores, in row-major tile order.
+    pub fn per_tile_activity(&self) -> Vec<(u64, u64)> {
+        self.cores
+            .iter()
+            .map(|tile_cores| {
+                tile_cores.iter().fold((0, 0), |(r, s), c| {
+                    let st = c.stats();
+                    (r + st.retired, s + st.stall_cycles)
+                })
+            })
+            .collect()
+    }
+
+    /// Emits the machine's aggregate metrics into `sink`: access and
+    /// conflict counters, cycle gauges, per-tile retired/stall activity
+    /// (as histograms over tiles plus series heat maps), and the fabric's
+    /// own link metrics when the fabric latency model ran.
+    pub fn export_metrics(&self, sink: &mut dyn Sink) {
+        sink.counter_add("machine.retired", self.stats().retired);
+        sink.counter_add("machine.local_accesses", self.local_accesses);
+        sink.counter_add("machine.remote_accesses", self.remote_accesses);
+        sink.counter_add("machine.network_stall_cycles", self.network_stall_cycles);
+        sink.counter_add("machine.bank_conflicts", self.bank_conflicts);
+        sink.gauge_set("machine.cycles", self.cycles as f64);
+        sink.gauge_set(
+            "machine.mean_remote_latency_cycles",
+            self.stats().mean_remote_latency(),
+        );
+        let activity = self.per_tile_activity();
+        for &(retired, stalls) in &activity {
+            sink.histogram_record("machine.tile.retired", retired);
+            sink.histogram_record("machine.tile.stall_cycles", stalls);
+        }
+        let retired: Vec<f64> = activity.iter().map(|&(r, _)| r as f64).collect();
+        let stalls: Vec<f64> = activity.iter().map(|&(_, s)| s as f64).collect();
+        sink.series_set("machine.tile_retired", &retired);
+        sink.series_set("machine.tile_stall_cycles", &stalls);
+        if self.config.latency_model() == LatencyModel::Fabric {
+            self.fabric.export_metrics(sink);
         }
     }
 }
@@ -953,6 +1046,87 @@ mod tests {
         assert!(fabric_stats.link_stall_cycles > 0, "links saw backpressure");
         assert!(fabric_stats.peak_link_occupancy > 1, "queues built up");
         assert_eq!(analytic_stats.link_stall_cycles, 0);
+    }
+
+    #[test]
+    fn idle_machine_stats_have_no_nan_ratios() {
+        // A machine that never ran: every derived ratio must be a finite
+        // zero, not NaN from a zero denominator.
+        let m = machine(2);
+        let stats = m.stats();
+        assert_eq!(stats.remote_accesses, 0);
+        assert_eq!(stats.mean_remote_latency(), 0.0);
+        assert!(stats.mean_remote_latency().is_finite());
+        let default_stats = MachineStats::default();
+        assert_eq!(default_stats.mean_remote_latency(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_sink_records_latency_histogram_and_run_span() {
+        use wsp_telemetry::SharedRecorder;
+
+        let recorder = SharedRecorder::new();
+        let mut m = machine(2);
+        m.set_sink(recorder.boxed());
+        m.fabric_mut().set_sink(recorder.boxed());
+        let target = m.global_address(TileCoord::new(1, 1), 0).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, target)
+            .ld(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program)
+            .expect("ok");
+        let stats = m.run_until_halt(10_000).expect("halts");
+
+        let mut shared = recorder.clone();
+        m.export_metrics(&mut shared);
+        recorder.with(|r| {
+            let hist = r
+                .registry
+                .histogram("machine.remote_latency_cycles")
+                .expect("remote access recorded");
+            assert_eq!(hist.count(), stats.remote_accesses);
+            assert_eq!(r.tracer.span_count("machine"), 1);
+            // The fabric delivered one request and one response.
+            assert_eq!(r.tracer.span_count("fabric"), 2);
+            assert_eq!(
+                r.registry.counter("machine.remote_accesses"),
+                stats.remote_accesses
+            );
+            assert_eq!(
+                r.registry.series("machine.tile_retired").map(<[f64]>::len),
+                Some(4)
+            );
+        });
+    }
+
+    #[test]
+    fn bank_conflicts_are_counted_under_amo_pressure() {
+        // 14 cores of one tile hammer one word in their own tile: the
+        // four bank ports cannot grant everyone, so denials must appear.
+        let mut m = machine(2);
+        let counter = m.global_address(TileCoord::new(0, 0), 0).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, counter)
+            .ldi(Reg::R2, 1)
+            .ldi(Reg::R3, 8)
+            .ldi(Reg::R0, 0)
+            .label("loop")
+            .amo_add(Reg::R4, Reg::R1, Reg::R2)
+            .addi(Reg::R3, Reg::R3, -1)
+            .bne(Reg::R3, Reg::R0, "loop")
+            .halt()
+            .build()
+            .expect("builds");
+        for core in 0..14 {
+            m.load_program(TileCoord::new(0, 0), core, &program)
+                .expect("ok");
+        }
+        let stats = m.run_until_halt(1_000_000).expect("halts");
+        assert_eq!(m.read_word(counter).expect("ok"), 14 * 8);
+        assert!(stats.bank_conflicts > 0, "no crossbar denials recorded");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use wsp_common::units::{Hertz, Seconds};
+use wsp_telemetry::Sink;
 
 /// A test/load configuration: how many parallel chains, the TCK rate,
 /// and whether intra-tile DAP broadcast is used for SPMD program loads.
@@ -122,6 +123,32 @@ impl TestSchedule {
     pub fn speedup_over(&self, reference: &TestSchedule, bytes: u64) -> f64 {
         reference.memory_load_time(bytes).value() / self.memory_load_time(bytes).value()
     }
+
+    /// Emits the load of `bytes` as `dft` trace events: one span per
+    /// parallel chain (track = chain index, timestamps in microseconds of
+    /// wall-clock shift time) plus summary gauges. The chains shift
+    /// concurrently, so every span covers the same interval — the trace
+    /// shows the parallelism directly.
+    pub fn trace_load(&self, bytes: u64, sink: &mut dyn Sink) {
+        if !sink.enabled() {
+            return;
+        }
+        let seconds = self.memory_load_time(bytes);
+        let micros = (seconds.value() * 1e6) as u64;
+        for chain in 0..self.chains {
+            sink.span("dft", "chain_shift", u64::from(chain), 0, micros);
+        }
+        sink.instant(
+            "dft",
+            "load_complete",
+            0,
+            micros,
+            &[("bytes", bytes as f64), ("chains", f64::from(self.chains))],
+        );
+        sink.gauge_set("dft.load_seconds", seconds.value());
+        sink.gauge_set("dft.chains", f64::from(self.chains));
+        sink.gauge_set("dft.tck_hz", self.tck.value());
+    }
 }
 
 impl fmt::Display for TestSchedule {
@@ -202,6 +229,32 @@ mod tests {
     #[should_panic(expected = "at least one chain")]
     fn zero_chains_rejected() {
         let _ = TestSchedule::new(0, Hertz(1e6), false);
+    }
+
+    #[test]
+    fn trace_load_emits_one_span_per_chain() {
+        use wsp_telemetry::{NoopSink, Recorder};
+
+        let mut recorder = Recorder::new();
+        let schedule = TestSchedule::paper_multichain();
+        schedule.trace_load(TestSchedule::PAPER_TOTAL_LOAD_BYTES, &mut recorder);
+        assert_eq!(recorder.tracer.span_count("dft"), 32);
+        // Every chain shifts for the same wall-clock interval.
+        let expected = (schedule
+            .memory_load_time(TestSchedule::PAPER_TOTAL_LOAD_BYTES)
+            .value()
+            * 1e6) as u64;
+        assert!(recorder
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "chain_shift")
+            .all(|e| e.duration == Some(expected)));
+        assert_eq!(recorder.registry.gauge("dft.chains"), Some(32.0));
+
+        // A disabled sink returns before formatting anything.
+        let mut noop = NoopSink;
+        schedule.trace_load(1024, &mut noop);
     }
 
     #[test]

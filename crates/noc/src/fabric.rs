@@ -42,6 +42,7 @@
 
 use std::collections::VecDeque;
 
+use wsp_telemetry::{NoopSink, Sink};
 use wsp_topo::{Direction, TileArray, TileCoord, DIRECTIONS};
 
 use crate::kernel::NetworkChoice;
@@ -216,6 +217,9 @@ pub struct Fabric {
     next_id: u64,
     relay_forwards: u64,
     link_traversals: u64,
+    /// Telemetry sink; [`NoopSink`] by default so the hot path pays one
+    /// `enabled()` virtual call per tick when tracing is off.
+    sink: Box<dyn Sink>,
 }
 
 impl Fabric {
@@ -234,7 +238,15 @@ impl Fabric {
             next_id: 0,
             relay_forwards: 0,
             link_traversals: 0,
+            sink: Box::new(NoopSink),
         }
+    }
+
+    /// Installs a telemetry sink. Each endpoint delivery then emits a
+    /// `fabric` span from injection to delivery (track = destination tile
+    /// index), so request/response life-times appear on the trace timeline.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sink = sink;
     }
 
     /// The geometry this fabric spans.
@@ -386,6 +398,17 @@ impl Fabric {
                 delivered.push(packet);
             }
         }
+        if self.sink.enabled() {
+            for p in &delivered {
+                let name = match p.kind {
+                    PacketKind::Request => "request",
+                    PacketKind::Response => "response",
+                };
+                let track = self.array.index_of(p.dst) as u64;
+                self.sink
+                    .span("fabric", name, track, p.injected_at, self.cycle);
+            }
+        }
         delivered
     }
 
@@ -443,28 +466,77 @@ impl Fabric {
     }
 
     /// The most-used link: `(network, tile, direction, traversals)`.
+    ///
+    /// Ties break deterministically: lowest tile index first, then lowest
+    /// direction index (N, S, E, W order), then the Xy network — so equal
+    /// heat maps always report the same link regardless of iteration order.
     pub fn hottest_link(&self) -> Option<(NetworkKind, TileCoord, Direction, u64)> {
-        let mut best: Option<(NetworkKind, TileCoord, Direction, u64)> = None;
+        // Key: forwarded count descending, then (tile, direction, network)
+        // ascending.
+        let mut best: Option<(u64, usize, usize, usize)> = None;
         for (n, per_net) in self.links.iter().enumerate() {
+            for (idx, dirs) in per_net.iter().enumerate() {
+                for (d, stats) in dirs.iter().enumerate() {
+                    if stats.forwarded == 0 {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((count, tile, dir, net)) => {
+                            stats.forwarded > count
+                                || (stats.forwarded == count && (idx, d, n) < (tile, dir, net))
+                        }
+                    };
+                    if better {
+                        best = Some((stats.forwarded, idx, d, n));
+                    }
+                }
+            }
+        }
+        best.map(|(count, idx, d, n)| {
             let network = if n == 0 {
                 NetworkKind::Xy
             } else {
                 NetworkKind::Yx
             };
+            (network, self.array.coord_of(idx), DIRECTIONS[d], count)
+        })
+    }
+
+    /// Row-major per-tile heat map: total packets forwarded out of each
+    /// tile, summed over both networks and all four directions.
+    pub fn utilization_heatmap(&self) -> Vec<f64> {
+        let tiles = self.array.tile_count();
+        let mut map = vec![0.0; tiles];
+        for per_net in &self.links {
             for (idx, dirs) in per_net.iter().enumerate() {
-                for (d, stats) in dirs.iter().enumerate() {
-                    if stats.forwarded > best.map_or(0, |b| b.3) {
-                        best = Some((
-                            network,
-                            self.array.coord_of(idx),
-                            DIRECTIONS[d],
-                            stats.forwarded,
-                        ));
-                    }
+                map[idx] += dirs.iter().map(|s| s.forwarded as f64).sum::<f64>();
+            }
+        }
+        map
+    }
+
+    /// Emits the fabric's aggregate metrics into `sink`: traversal and
+    /// relay counters, per-link forwarded/stall histograms, peak FIFO
+    /// occupancy, and the per-tile utilization heat map as a series.
+    pub fn export_metrics(&self, sink: &mut dyn Sink) {
+        sink.counter_add("fabric.link_traversals", self.link_traversals);
+        sink.counter_add("fabric.relay_forwards", self.relay_forwards);
+        sink.counter_add("fabric.stall_cycles", self.total_stall_cycles());
+        sink.gauge_set(
+            "fabric.peak_link_occupancy",
+            self.peak_link_occupancy() as f64,
+        );
+        sink.gauge_set("fabric.cycles", self.cycle as f64);
+        for per_net in &self.links {
+            for dirs in per_net {
+                for stats in dirs {
+                    sink.histogram_record("fabric.link.forwarded", stats.forwarded);
+                    sink.histogram_record("fabric.link.stall_cycles", stats.stall_cycles);
                 }
             }
         }
-        best
+        sink.series_set("fabric.tile_heatmap", &self.utilization_heatmap());
     }
 
     /// Total link traversals (one per packet per hop).
@@ -592,6 +664,55 @@ mod tests {
         assert!(!delivered.is_empty());
         assert!(fabric.total_stall_cycles() > 0, "no contention recorded");
         assert!(fabric.peak_link_occupancy() >= 2);
+    }
+
+    #[test]
+    fn hottest_link_breaks_ties_toward_lowest_tile_then_direction() {
+        let mut fabric = Fabric::new(TileArray::new(4, 4), 4);
+        // Two disjoint single-hop flows with identical traversal counts:
+        // (2,0)→(3,0) and (0,1)→(1,1). Equal heat, so the tie must break
+        // to the lower row-major tile index, (2,0), regardless of network
+        // scan order.
+        for _ in 0..3 {
+            let a = direct_req(&mut fabric, (2, 0), (3, 0));
+            let b = direct_req(&mut fabric, (0, 1), (1, 1));
+            assert!(fabric.inject(a));
+            assert!(fabric.inject(b));
+            fabric.drain();
+        }
+        let (net, tile, dir, count) = fabric.hottest_link().expect("traffic ran");
+        assert_eq!(count, 3);
+        assert_eq!(tile, TileCoord::new(2, 0));
+        assert_eq!(dir, Direction::East);
+        assert_eq!(net, NetworkKind::Xy);
+    }
+
+    #[test]
+    fn hottest_link_is_none_on_an_idle_fabric() {
+        let fabric = Fabric::new(TileArray::new(4, 4), 4);
+        assert!(fabric.hottest_link().is_none());
+    }
+
+    #[test]
+    fn export_metrics_and_delivery_spans_reach_the_sink() {
+        use wsp_telemetry::SharedRecorder;
+
+        let recorder = SharedRecorder::new();
+        let mut fabric = Fabric::new(TileArray::new(4, 4), 4);
+        fabric.set_sink(recorder.boxed());
+        let p = direct_req(&mut fabric, (0, 0), (3, 3));
+        assert!(fabric.inject(p));
+        fabric.drain();
+
+        let mut shared = recorder.clone();
+        fabric.export_metrics(&mut shared);
+        recorder.with(|r| {
+            assert_eq!(r.tracer.span_count("fabric"), 1);
+            assert_eq!(r.registry.counter("fabric.link_traversals"), 6);
+            let heat = r.registry.series("fabric.tile_heatmap").expect("heatmap");
+            assert_eq!(heat.len(), 16);
+            assert_eq!(heat.iter().sum::<f64>(), 6.0);
+        });
     }
 
     #[test]

@@ -131,6 +131,12 @@ impl NocSim {
         &self.fabric
     }
 
+    /// Mutable fabric access, e.g. to install a telemetry sink before a
+    /// run with [`Fabric::set_sink`].
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
     /// Traversal count of the link leaving `tile` in direction `dir` on
     /// the given network — the congestion heat map.
     pub fn link_utilization(

@@ -14,6 +14,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use wsp_common::units::{Amps, Ohms, Volts, Watts};
+use wsp_telemetry::{NoopSink, Sink};
 use wsp_topo::{TileArray, TileCoord, DIRECTIONS};
 
 /// How a tile draws current from the plane.
@@ -202,9 +203,26 @@ impl PdnConfig {
     /// [`SolvePdnError::Collapse`] if a constant-power load drags a node to
     /// a non-physical (≤0 V) operating point.
     pub fn solve(&self) -> Result<PdnSolution, SolvePdnError> {
+        self.solve_traced(&mut NoopSink)
+    }
+
+    /// [`PdnConfig::solve`] with per-iteration convergence telemetry:
+    /// sampled `pdn` residual instants (every
+    /// [`RESIDUAL_SAMPLE_STRIDE`](Self::RESIDUAL_SAMPLE_STRIDE) iterations,
+    /// plus the last), a span covering the whole solve on the iteration
+    /// axis, and summary gauges.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PdnConfig::solve`].
+    pub fn solve_traced(&self, sink: &mut dyn Sink) -> Result<PdnSolution, SolvePdnError> {
         let n = self.array.tile_count();
         let i_load = vec![self.load.current_at(self.supply).value(); n];
-        self.solve_inner(i_load, matches!(self.load, LoadModel::ConstantPower(_)))
+        self.solve_inner(
+            i_load,
+            matches!(self.load, LoadModel::ConstantPower(_)),
+            sink,
+        )
     }
 
     /// Solves the grid with an explicit per-tile current map — e.g. a
@@ -228,13 +246,42 @@ impl PdnConfig {
             self.array.tile_count(),
             "one current per tile required"
         );
-        self.solve_inner(currents.iter().map(|i| i.value()).collect(), false)
+        self.solve_with_tile_currents_traced(currents, &mut NoopSink)
     }
+
+    /// [`PdnConfig::solve_with_tile_currents`] with convergence telemetry
+    /// (see [`PdnConfig::solve_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolvePdnError::NoConvergence`] on iteration failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len()` differs from the tile count.
+    pub fn solve_with_tile_currents_traced(
+        &self,
+        currents: &[Amps],
+        sink: &mut dyn Sink,
+    ) -> Result<PdnSolution, SolvePdnError> {
+        assert_eq!(
+            currents.len(),
+            self.array.tile_count(),
+            "one current per tile required"
+        );
+        self.solve_inner(currents.iter().map(|i| i.value()).collect(), false, sink)
+    }
+
+    /// Iterations between sampled residual instants in
+    /// [`PdnConfig::solve_traced`] — sparse enough that a full 32×32 solve
+    /// (thousands of iterations) stays a small trace.
+    pub const RESIDUAL_SAMPLE_STRIDE: usize = 64;
 
     fn solve_inner(
         &self,
         mut i_load: Vec<f64>,
         constant_power: bool,
+        sink: &mut dyn Sink,
     ) -> Result<PdnSolution, SolvePdnError> {
         const MAX_ITERS: usize = 200_000;
         const TOL: f64 = 1e-6;
@@ -270,6 +317,17 @@ impl PdnConfig {
                 v[idx] = relaxed;
             }
             iterations += 1;
+            if sink.enabled()
+                && (iterations.is_multiple_of(Self::RESIDUAL_SAMPLE_STRIDE) || max_delta < TOL)
+            {
+                sink.instant(
+                    "pdn",
+                    "residual",
+                    0,
+                    iterations as u64,
+                    &[("residual_v", max_delta)],
+                );
+            }
 
             if constant_power {
                 let LoadModel::ConstantPower(p) = self.load else {
@@ -298,6 +356,12 @@ impl PdnConfig {
             }
         }
 
+        if sink.enabled() {
+            sink.span("pdn", "sor_solve", 0, 0, iterations as u64);
+            sink.gauge_set("pdn.solve.iterations", iterations as f64);
+            let min_v = v.iter().copied().fold(f64::INFINITY, f64::min);
+            sink.gauge_set("pdn.min_voltage_v", min_v);
+        }
         let total_current = Amps(i_load.iter().sum());
         Ok(PdnSolution {
             array,
@@ -627,6 +691,36 @@ mod tests {
     #[should_panic(expected = "at least one supply side")]
     fn no_supply_side_rejected() {
         let _ = PdnConfig::paper_prototype().with_supply_sides([false; 4]);
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_and_records_convergence() {
+        use wsp_telemetry::Recorder;
+
+        let cfg = PdnConfig::paper_prototype();
+        let mut recorder = Recorder::new();
+        let traced = cfg.solve_traced(&mut recorder).expect("converges");
+        let plain = cfg.solve().expect("converges");
+        assert_eq!(traced, plain, "telemetry must not perturb the solve");
+
+        assert_eq!(recorder.tracer.span_count("pdn"), 1);
+        // Residual instants were sampled, ending below tolerance.
+        let residuals: Vec<f64> = recorder
+            .tracer
+            .events()
+            .iter()
+            .filter(|e| e.name == "residual")
+            .flat_map(|e| e.args.iter().map(|&(_, v)| v))
+            .collect();
+        assert!(
+            residuals.len() >= 2,
+            "expected sampled residuals, got {residuals:?}"
+        );
+        assert!(residuals.last().expect("non-empty") < &1e-6);
+        assert_eq!(
+            recorder.registry.gauge("pdn.solve.iterations"),
+            Some(traced.iterations() as f64)
+        );
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! Named metrics: saturating counters, gauges, log2-bucketed histograms,
+//! and small numeric series, with a stable JSON report format.
+
+use std::collections::BTreeMap;
+
+use crate::{push_json_f64, push_json_string, REPORT_SCHEMA};
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds the value `0`,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything from `2^63` up.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Exact count, saturating sum, min and max are tracked alongside the
+/// buckets, so means are exact and percentile estimates are clamped into
+/// `[min, max]`.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 4, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 100);
+/// assert!(h.percentile(0.50) <= h.percentile(0.95));
+/// assert!(h.percentile(0.99) <= h.max());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The smallest value bucket `index` can hold.
+    #[inline]
+    pub fn bucket_floor(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// The largest value bucket `index` can hold.
+    #[inline]
+    pub fn bucket_ceiling(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample. The running sum saturates rather than wrapping.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket occupancy, for boundary tests and exports.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated value at percentile `p` (in `[0, 1]`): the ceiling of the
+    /// bucket containing the rank-`⌈p·count⌉` sample, clamped into
+    /// `[min, max]`. Monotone in `p` by construction, and 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_ceiling(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The workspace metric registry: every named metric a run produced,
+/// ready to serialise into one machine-readable report.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter, saturating at `u64::MAX`.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Replaces the named series (e.g. a row-major per-tile heat map).
+    pub fn series_set(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
+        self.series
+            .insert(name.to_string(), values.into_iter().collect());
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The named series, if set.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, gauges and
+    /// series overwrite, histograms are summed bucket-wise.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            self.counter_add(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            let mine = self.histograms.entry(name.clone()).or_default();
+            mine.count = mine.count.saturating_add(h.count);
+            mine.sum = mine.sum.saturating_add(h.sum);
+            mine.min = mine.min.min(h.min);
+            mine.max = mine.max.max(h.max);
+            for (a, b) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
+                *a += b;
+            }
+        }
+        for (name, s) in &other.series {
+            self.series.insert(name.clone(), s.clone());
+        }
+    }
+
+    /// Serialises the metric sections alone (no envelope): an object with
+    /// `counters`, `gauges`, `histograms`, and `series` members. Keys are
+    /// emitted in sorted order, so output is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(name, &mut out);
+            out.push_str(&format!(":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(name, &mut out);
+            out.push(':');
+            push_json_f64(*v, &mut out);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(name, &mut out);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            ));
+            push_json_f64(h.mean(), &mut out);
+            out.push_str(&format!(
+                ",\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99)
+            ));
+        }
+        out.push_str("},\"series\":{");
+        for (i, (name, values)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(name, &mut out);
+            out.push_str(":[");
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_f64(*v, &mut out);
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serialises the full machine-readable bench report: an envelope with
+    /// the schema identifier, the producing bench's name, and the metric
+    /// sections under `metrics`.
+    pub fn to_json_report(&self, bench: &str) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"schema\":");
+        push_json_string(REPORT_SCHEMA, &mut out);
+        out.push_str(",\"bench\":");
+        push_json_string(bench, &mut out);
+        out.push_str(",\"metrics\":");
+        out.push_str(&self.to_json());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(255), 8);
+        assert_eq!(Histogram::bucket_index(256), 9);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..64 {
+            // Floors and ceilings tile the u64 range with no gaps.
+            assert_eq!(
+                Histogram::bucket_floor(i),
+                Histogram::bucket_ceiling(i - 1) + 1
+            );
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_floor(i)), i);
+            assert_eq!(Histogram::bucket_index(Histogram::bucket_ceiling(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0);
+        for v in [5u64, 9, 1, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 215);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 200);
+        assert!((h.mean() - 53.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sum_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        // All mass in bucket [64, 127], but max observed is 70: the bucket
+        // ceiling (127) must clamp down to 70.
+        for _ in 0..100 {
+            h.record(70);
+        }
+        assert_eq!(h.percentile(0.5), 70);
+        assert_eq!(h.percentile(0.99), 70);
+        assert_eq!(h.percentile(0.0), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_percentile_rejected() {
+        Histogram::new().percentile(1.01);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut r = Registry::new();
+        r.counter_add("c", u64::MAX - 2);
+        r.counter_add("c", 17);
+        assert_eq!(r.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn registry_round_trip_accessors() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", 2.5);
+        r.histogram_record("h", 7);
+        r.series_set("s", [1.0, 2.0]);
+        assert!(!r.is_empty());
+        assert_eq!(r.counter("a.b"), 3);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.histogram("h").map(Histogram::count), Some(1));
+        assert_eq!(r.series("s"), Some([1.0, 2.0].as_slice()));
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_sums_histograms() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.histogram_record("h", 2);
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.histogram_record("h", 1000);
+        b.gauge_set("g", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        let h = a.histogram("h").expect("merged");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 2);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn json_report_has_stable_shape() {
+        let mut r = Registry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 2);
+        r.gauge_set("not\"plain", f64::NAN);
+        r.histogram_record("h", 3);
+        let json = r.to_json_report("unit");
+        // Sorted counter keys, escaped gauge key, NaN emitted as null.
+        assert!(json.contains("\"counters\":{\"a\":2,\"z\":1}"));
+        assert!(json.contains("\"not\\\"plain\":null"));
+        assert!(json.contains("\"schema\":\"wsp-bench-v1\""));
+        assert!(json.contains("\"bench\":\"unit\""));
+    }
+}

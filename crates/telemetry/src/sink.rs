@@ -1,0 +1,236 @@
+//! The [`Sink`] trait instrumented subsystems emit into, its no-op
+//! default, and the shared recorder handle bench binaries use.
+
+use std::sync::{Arc, Mutex};
+
+use crate::{Registry, Tracer};
+
+/// Telemetry hooks an instrumented subsystem calls.
+///
+/// Every method has an empty default body, so a sink implements only what
+/// it cares about, and the no-op case compiles to an empty virtual call.
+/// Emitters that must *format* data (build a name, walk a table) should
+/// gate that work on [`Sink::enabled`]; plain pre-computed emissions can
+/// call the hooks unconditionally.
+pub trait Sink: Send {
+    /// Whether this sink records anything. Hot paths use this to skip
+    /// preparing event data entirely.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to a named counter (saturating).
+    fn counter_add(&mut self, _name: &str, _delta: u64) {}
+
+    /// Sets a named gauge.
+    fn gauge_set(&mut self, _name: &str, _value: f64) {}
+
+    /// Records one sample into a named histogram.
+    fn histogram_record(&mut self, _name: &str, _value: u64) {}
+
+    /// Replaces a named series (e.g. a row-major per-tile heat map).
+    fn series_set(&mut self, _name: &str, _values: &[f64]) {}
+
+    /// Records a span from `start` to `end` on `track` in `category`.
+    fn span(&mut self, _category: &str, _name: &str, _track: u64, _start: u64, _end: u64) {}
+
+    /// Records an instant event with numeric arguments.
+    fn instant(
+        &mut self,
+        _category: &str,
+        _name: &str,
+        _track: u64,
+        _at: u64,
+        _args: &[(&str, f64)],
+    ) {
+    }
+}
+
+/// The default sink: records nothing, reports disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {}
+
+/// A concrete recorder: a [`Registry`] plus a [`Tracer`].
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    /// Metric storage.
+    pub registry: Registry,
+    /// Event storage.
+    pub tracer: Tracer,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+}
+
+impl Sink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        self.registry.gauge_set(name, value);
+    }
+
+    fn histogram_record(&mut self, name: &str, value: u64) {
+        self.registry.histogram_record(name, value);
+    }
+
+    fn series_set(&mut self, name: &str, values: &[f64]) {
+        self.registry.series_set(name, values.iter().copied());
+    }
+
+    fn span(&mut self, category: &str, name: &str, track: u64, start: u64, end: u64) {
+        self.tracer.span(category, name, track, start, end, &[]);
+    }
+
+    fn instant(&mut self, category: &str, name: &str, track: u64, at: u64, args: &[(&str, f64)]) {
+        self.tracer.instant(category, name, track, at, args);
+    }
+}
+
+/// A cheaply clonable, thread-safe handle to one shared [`Recorder`].
+///
+/// Several subsystems (a machine, its fabric, a PDN solve) each hold a
+/// boxed clone and all record into the same registry and trace; the
+/// owning bench binary keeps one clone to read the results back out.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_telemetry::{SharedRecorder, Sink};
+///
+/// let recorder = SharedRecorder::new();
+/// let mut a = recorder.boxed();
+/// let mut b = recorder.boxed();
+/// a.counter_add("n", 1);
+/// b.counter_add("n", 2);
+/// assert_eq!(recorder.with(|r| r.registry.counter("n")), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SharedRecorder(Arc<Mutex<Recorder>>);
+
+impl SharedRecorder {
+    /// A fresh shared recorder.
+    pub fn new() -> Self {
+        SharedRecorder::default()
+    }
+
+    /// A boxed [`Sink`] clone, ready to hand to a subsystem.
+    pub fn boxed(&self) -> Box<dyn Sink> {
+        Box::new(self.clone())
+    }
+
+    /// Runs `f` with the locked recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user panicked while holding the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Recorder) -> R) -> R {
+        f(&mut self.0.lock().expect("recorder poisoned"))
+    }
+
+    /// The accumulated metrics as a bench report (see
+    /// [`Registry::to_json_report`]).
+    pub fn metrics_json(&self, bench: &str) -> String {
+        self.with(|r| r.registry.to_json_report(bench))
+    }
+
+    /// The accumulated events as Chrome trace-event JSON.
+    pub fn trace_json(&self) -> String {
+        self.with(|r| r.tracer.to_chrome_json())
+    }
+}
+
+impl Sink for SharedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        self.with(|r| r.registry.counter_add(name, delta));
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        self.with(|r| r.registry.gauge_set(name, value));
+    }
+
+    fn histogram_record(&mut self, name: &str, value: u64) {
+        self.with(|r| r.registry.histogram_record(name, value));
+    }
+
+    fn series_set(&mut self, name: &str, values: &[f64]) {
+        self.with(|r| r.registry.series_set(name, values.iter().copied()));
+    }
+
+    fn span(&mut self, category: &str, name: &str, track: u64, start: u64, end: u64) {
+        self.with(|r| r.tracer.span(category, name, track, start, end, &[]));
+    }
+
+    fn instant(&mut self, category: &str, name: &str, track: u64, at: u64, args: &[(&str, f64)]) {
+        self.with(|r| r.tracer.instant(category, name, track, at, args));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        let mut sink = NoopSink;
+        assert!(!sink.enabled());
+        sink.counter_add("x", 1);
+        sink.span("c", "n", 0, 0, 1);
+        // Nothing to observe — the point is that it compiles and costs
+        // nothing; behaviour is covered by the recorder tests below.
+    }
+
+    #[test]
+    fn recorder_routes_to_registry_and_tracer() {
+        let mut r = Recorder::new();
+        assert!(r.enabled());
+        r.counter_add("c", 2);
+        r.gauge_set("g", 1.5);
+        r.histogram_record("h", 8);
+        r.series_set("s", &[1.0]);
+        r.span("m", "run", 0, 0, 10);
+        r.instant("m", "tick", 0, 5, &[("v", 1.0)]);
+        assert_eq!(r.registry.counter("c"), 2);
+        assert_eq!(r.registry.gauge("g"), Some(1.5));
+        assert_eq!(r.tracer.len(), 2);
+    }
+
+    #[test]
+    fn shared_recorder_clones_share_storage() {
+        let shared = SharedRecorder::new();
+        let mut a = shared.boxed();
+        let mut b = shared.boxed();
+        a.histogram_record("h", 1);
+        b.histogram_record("h", 3);
+        b.span("fabric", "pkt", 0, 2, 9);
+        assert_eq!(
+            shared.with(|r| r.registry.histogram("h").unwrap().count()),
+            2
+        );
+        assert_eq!(shared.with(|r| r.tracer.span_count("fabric")), 1);
+        assert!(shared.metrics_json("t").contains("\"bench\":\"t\""));
+        assert!(shared.trace_json().contains("\"cat\":\"fabric\""));
+    }
+
+    #[test]
+    fn shared_recorder_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedRecorder>();
+        assert_send::<Box<dyn Sink>>();
+    }
+}

@@ -1,0 +1,251 @@
+//! Span/event tracing with Chrome trace-event JSON output.
+//!
+//! The emitted file is the "JSON object format" of the Trace Event spec:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}`, which both Perfetto
+//! and `chrome://tracing` open directly. Simulator cycle counts (or SOR
+//! iteration counts) are reported as microsecond timestamps — the absolute
+//! unit is meaningless for a simulator, the *relative* timeline is what
+//! the viewer shows.
+
+use std::collections::BTreeSet;
+
+use crate::{push_json_f64, push_json_string};
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event category — by convention the emitting subsystem
+    /// (`fabric`, `machine`, `pdn`, `clock`, `dft`).
+    pub category: String,
+    /// Human-readable event name.
+    pub name: String,
+    /// Track (rendered as a thread) the event belongs to, e.g. a tile
+    /// index or a scan-chain index.
+    pub track: u64,
+    /// Start timestamp in cycles (or the subsystem's natural tick).
+    pub start: u64,
+    /// Duration in the same unit; 0 for instant events.
+    pub duration: Option<u64>,
+    /// Extra numeric arguments shown in the viewer's detail pane.
+    pub args: Vec<(String, f64)>,
+}
+
+/// Default cap on recorded events; see [`Tracer::with_capacity_limit`].
+pub const DEFAULT_EVENT_LIMIT: usize = 1 << 20;
+
+/// An in-memory trace recorder.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_telemetry::Tracer;
+///
+/// let mut t = Tracer::new();
+/// t.span("machine", "run", 0, 0, 500, &[]);
+/// t.instant("pdn", "residual", 1, 64, &[("residual", 1e-3)]);
+/// let json = t.to_chrome_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An empty tracer with the default event cap.
+    pub fn new() -> Self {
+        Tracer::with_capacity_limit(DEFAULT_EVENT_LIMIT)
+    }
+
+    /// An empty tracer that stops recording (and counts drops) past
+    /// `limit` events, so an unexpectedly long run cannot eat the heap.
+    pub fn with_capacity_limit(limit: usize) -> Self {
+        Tracer {
+            events: Vec::new(),
+            limit,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.limit {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records a complete span from `start` to `end` (clamped to start).
+    pub fn span(
+        &mut self,
+        category: &str,
+        name: &str,
+        track: u64,
+        start: u64,
+        end: u64,
+        args: &[(&str, f64)],
+    ) {
+        self.push(TraceEvent {
+            category: category.to_string(),
+            name: name.to_string(),
+            track,
+            start,
+            duration: Some(end.saturating_sub(start)),
+            args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Records an instant event at `at`.
+    pub fn instant(
+        &mut self,
+        category: &str,
+        name: &str,
+        track: u64,
+        at: u64,
+        args: &[(&str, f64)],
+    ) {
+        self.push(TraceEvent {
+            category: category.to_string(),
+            name: name.to_string(),
+            track,
+            start: at,
+            duration: None,
+            args: args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events refused because the capacity limit was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The distinct categories recorded — one per instrumented subsystem.
+    pub fn categories(&self) -> BTreeSet<&str> {
+        self.events.iter().map(|e| e.category.as_str()).collect()
+    }
+
+    /// Spans (events with a duration) in the given category.
+    pub fn span_count(&self, category: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.category == category && e.duration.is_some())
+            .count()
+    }
+
+    /// Serialises to Chrome trace-event JSON (the object form, with a
+    /// `traceEvents` array of `"X"` complete events and `"i"` instants).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&e.name, &mut out);
+            out.push_str(",\"cat\":");
+            push_json_string(&e.category, &mut out);
+            match e.duration {
+                Some(dur) => {
+                    out.push_str(&format!(",\"ph\":\"X\",\"ts\":{},\"dur\":{}", e.start, dur));
+                }
+                None => {
+                    out.push_str(&format!(",\"ph\":\"i\",\"ts\":{},\"s\":\"t\"", e.start));
+                }
+            }
+            out.push_str(&format!(",\"pid\":1,\"tid\":{}", e.track));
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(k, &mut out);
+                    out.push(':');
+                    push_json_f64(*v, &mut out);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans_and_instants() {
+        let mut t = Tracer::new();
+        assert!(t.is_empty());
+        t.span("fabric", "packet", 3, 10, 25, &[("hops", 4.0)]);
+        t.instant("clock", "lock", 0, 99, &[]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.span_count("fabric"), 1);
+        assert_eq!(t.span_count("clock"), 0);
+        assert_eq!(
+            t.categories().into_iter().collect::<Vec<_>>(),
+            vec!["clock", "fabric"]
+        );
+        let e = &t.events()[0];
+        assert_eq!(e.duration, Some(15));
+        assert_eq!(e.track, 3);
+    }
+
+    #[test]
+    fn chrome_json_contains_required_fields() {
+        let mut t = Tracer::new();
+        t.span("machine", "run", 0, 0, 100, &[("cycles", 100.0)]);
+        t.instant("pdn", "residual", 1, 5, &[("residual", 0.5)]);
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"cat\":\"pdn\""));
+        assert!(json.contains("\"args\":{\"residual\":0.5}"));
+    }
+
+    #[test]
+    fn capacity_limit_counts_drops() {
+        let mut t = Tracer::with_capacity_limit(2);
+        for i in 0..5 {
+            t.instant("x", "e", 0, i, &[]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn span_end_before_start_clamps_to_zero_duration() {
+        let mut t = Tracer::new();
+        t.span("m", "backwards", 0, 10, 5, &[]);
+        assert_eq!(t.events()[0].duration, Some(0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Golden-file tests: the Chrome trace-event JSON and the bench report
+//! JSON must parse with `serde_json` and round-trip structurally.
+
+use wsp_telemetry::{Recorder, Sink, Tracer};
+
+/// Builds the fixed trace used by the golden assertions.
+fn golden_tracer() -> Tracer {
+    let mut t = Tracer::new();
+    t.span("machine", "run", 0, 0, 1200, &[("retired", 512.0)]);
+    t.span("fabric", "request", 5, 3, 47, &[("hops", 6.0)]);
+    t.span("fabric", "response", 5, 47, 90, &[]);
+    t.instant("pdn", "residual", 1, 64, &[("residual", 2.5e-4)]);
+    t.span("pdn", "sor_solve", 1, 0, 2048, &[]);
+    t.instant("clock", "phase \"auto\" → \"locked\"", 2, 16, &[]);
+    t
+}
+
+#[test]
+fn chrome_trace_round_trips_through_serde_json() {
+    let tracer = golden_tracer();
+    let json = tracer.to_chrome_json();
+
+    let doc = serde_json::from_str(&json).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), tracer.len());
+
+    // Re-serialise the parsed document and parse again: structural fixpoint.
+    let again = serde_json::from_str(&serde_json::to_string(&doc)).expect("reparses");
+    assert_eq!(doc, again);
+
+    // Every event carries the Trace Event Format's required members, and
+    // the categories cover the instrumented subsystems.
+    let mut cats = std::collections::BTreeSet::new();
+    for e in events {
+        assert!(e.get("name").and_then(serde_json::Value::as_str).is_some());
+        assert!(e.get("ts").and_then(serde_json::Value::as_u64).is_some());
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        let ph = e.get("ph").and_then(serde_json::Value::as_str).expect("ph");
+        match ph {
+            "X" => assert!(e.get("dur").and_then(serde_json::Value::as_u64).is_some()),
+            "i" => assert!(e.get("dur").is_none()),
+            other => panic!("unexpected phase {other:?}"),
+        }
+        cats.insert(
+            e.get("cat")
+                .and_then(serde_json::Value::as_str)
+                .expect("cat"),
+        );
+    }
+    assert!(cats.contains("machine") && cats.contains("fabric") && cats.contains("pdn"));
+
+    // The span with args kept them through the parse.
+    let run = events
+        .iter()
+        .find(|e| e.get("name").and_then(serde_json::Value::as_str) == Some("run"))
+        .expect("run span present");
+    assert_eq!(
+        run.get("args")
+            .and_then(|a| a.get("retired"))
+            .and_then(serde_json::Value::as_f64),
+        Some(512.0)
+    );
+}
+
+#[test]
+fn bench_report_round_trips_through_serde_json() {
+    let mut recorder = Recorder::new();
+    recorder.counter_add("fabric.link_traversals", 12_345);
+    recorder.gauge_set("pdn.min_voltage_v", 1.4375);
+    for v in [4u64, 8, 15, 16, 23, 42] {
+        recorder.histogram_record("machine.remote_latency_cycles", v);
+    }
+    recorder.series_set("fabric.heatmap", &[0.0, 3.0, 7.0, 1.0]);
+
+    let json = recorder.registry.to_json_report("golden");
+    let doc = serde_json::from_str(&json).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(serde_json::Value::as_str),
+        Some(wsp_telemetry::REPORT_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("bench").and_then(serde_json::Value::as_str),
+        Some("golden")
+    );
+
+    let metrics = doc.get("metrics").expect("metrics envelope");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("fabric.link_traversals"))
+            .and_then(serde_json::Value::as_u64),
+        Some(12_345)
+    );
+    let hist = metrics
+        .get("histograms")
+        .and_then(|h| h.get("machine.remote_latency_cycles"))
+        .expect("histogram summary");
+    assert_eq!(
+        hist.get("count").and_then(serde_json::Value::as_u64),
+        Some(6)
+    );
+    assert_eq!(
+        hist.get("max").and_then(serde_json::Value::as_u64),
+        Some(42)
+    );
+    let p50 = hist
+        .get("p50")
+        .and_then(serde_json::Value::as_u64)
+        .expect("p50");
+    let p99 = hist
+        .get("p99")
+        .and_then(serde_json::Value::as_u64)
+        .expect("p99");
+    assert!(p50 <= p99);
+    assert_eq!(
+        metrics
+            .get("series")
+            .and_then(|s| s.get("fabric.heatmap"))
+            .and_then(serde_json::Value::as_array)
+            .map(<[serde_json::Value]>::len),
+        Some(4)
+    );
+
+    // Structural fixpoint through the parser.
+    let again = serde_json::from_str(&serde_json::to_string(&doc)).expect("reparses");
+    assert_eq!(doc, again);
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness: runs the headline regenerator binaries with
+# machine-readable output and validates every artefact.
+#
+#   ./scripts/bench.sh           # full runs -> BENCH_*.json + TRACE_machine.json
+#   ./scripts/bench.sh --smoke   # seconds-scale reduced runs (the CI gate)
+#
+# Artefacts land in the repo root:
+#   BENCH_noc.json       fig7_network  (NoC request/response metrics)
+#   BENCH_machine.json   workloads     (kernel + traced-stencil metrics)
+#   BENCH_pdn.json       fig2_droop    (IR-drop / SOR-solver metrics)
+#   TRACE_machine.json   workloads     (Chrome trace: machine, fabric,
+#                                       pdn, clock, and dft spans —
+#                                       open in ui.perfetto.dev)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=()
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=(--smoke) ;;
+        *)
+            echo "usage: $0 [--smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> cargo build --release -p wsp-bench"
+cargo build --release -p wsp-bench
+
+run() {
+    local bin="$1"
+    shift
+    echo "==> $bin $*"
+    "target/release/$bin" "$@" >/dev/null
+}
+
+run fig7_network "${SMOKE[@]}" --json BENCH_noc.json
+run workloads "${SMOKE[@]}" --json BENCH_machine.json --trace TRACE_machine.json
+run fig2_droop "${SMOKE[@]}" --json BENCH_pdn.json
+
+echo "==> validate_json"
+target/release/validate_json \
+    BENCH_noc.json BENCH_machine.json BENCH_pdn.json TRACE_machine.json
+
+echo "Bench artefacts written and validated."

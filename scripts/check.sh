@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> bench smoke (BENCH_*.json present and well-formed)"
+./scripts/bench.sh --smoke
+
 echo "All checks passed."
