@@ -2,8 +2,11 @@
 //! voltage droop) plus the Sec. III delivery-strategy comparison.
 //!
 //! Run with `cargo run -p wsp-bench --bin fig2_droop`.
-//! Accepts `--json <path>` (metrics report) and `--trace <path>` (the
-//! SOR solver's per-iteration residual convergence as a Chrome trace).
+//! Accepts `--json <path>` (metrics report), `--trace <path>` (the
+//! SOR solver's per-iteration residual convergence as a Chrome trace),
+//! and `--threads <n>` (red/black parallel solver comparison).
+
+use std::time::Instant;
 
 use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_common::units::Watts;
@@ -189,6 +192,58 @@ fn main() {
         ),
         Some("~12x"),
     );
+
+    header(
+        "Parallel backend",
+        "red/black SOR vs lexicographic sweep (paper 32x32 PDN)",
+    );
+    let threads = opts.threads_or_available();
+    let time_solve = |f: &dyn Fn() -> wsp_pdn::PdnSolution| {
+        let start = Instant::now();
+        let sol = f();
+        (sol, start.elapsed())
+    };
+    let (lex, lex_wall) = time_solve(&|| cfg.solve().expect("lexicographic converges"));
+    let (rb, rb_wall) = time_solve(&|| cfg.solve_parallel(threads).expect("red/black converges"));
+    let max_dev_uv = lex
+        .voltages()
+        .map(|(t, v)| (v - rb.voltage_at(t)).value().abs() * 1e6)
+        .fold(0.0f64, f64::max);
+    row(&["ordering", "threads", "iterations", "wall ms"]);
+    row(&[
+        "lexicographic".to_string(),
+        "1".to_string(),
+        format!("{}", lex.iterations()),
+        format!("{:.1}", lex_wall.as_secs_f64() * 1e3),
+    ]);
+    row(&[
+        "red/black".to_string(),
+        format!("{threads}"),
+        format!("{}", rb.iterations()),
+        format!("{:.1}", rb_wall.as_secs_f64() * 1e3),
+    ]);
+    result_line(
+        "max per-tile deviation between orderings",
+        format!("{max_dev_uv:.3} µV"),
+        Some("<1 µV by construction"),
+    );
+    sink.gauge_set("pdn.parallel.max_deviation_uv", max_dev_uv);
+    sink.gauge_set("pdn.parallel.iterations", rb.iterations() as f64);
+    if !opts.smoke {
+        sink.gauge_set("pdn.parallel.threads", threads as f64);
+        sink.gauge_set(
+            "pdn.parallel.wall_ms_lexicographic",
+            lex_wall.as_secs_f64() * 1e3,
+        );
+        sink.gauge_set(
+            "pdn.parallel.wall_ms_red_black",
+            rb_wall.as_secs_f64() * 1e3,
+        );
+        sink.gauge_set(
+            "pdn.parallel.speedup",
+            lex_wall.as_secs_f64() / rb_wall.as_secs_f64(),
+        );
+    }
 
     opts.write_outputs("fig2_droop", &recorder);
 }

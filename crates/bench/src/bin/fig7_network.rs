@@ -5,7 +5,11 @@
 //!
 //! Run with `cargo run --release -p wsp-bench --bin fig7_network`.
 //! Accepts `--json <path>` (metrics report), `--seed <u64>` (fault /
-//! traffic RNG), and `--smoke` (reduced request counts).
+//! traffic RNG), `--threads <n>` (deterministic parallel backend — the
+//! results are bit-identical at any value), and `--smoke` (reduced
+//! request counts).
+
+use std::time::Instant;
 
 use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
 use wsp_common::seeded_rng;
@@ -20,6 +24,7 @@ fn main() {
     let array = TileArray::new(16, 16);
     let requests: u64 = if opts.smoke { 100 } else { 1000 };
     let seed = opts.seed_or(7);
+    let threads = opts.threads_or_available();
 
     header(
         "Fig. 7",
@@ -42,6 +47,7 @@ fn main() {
     ];
     for (name, faults) in scenarios {
         let mut sim = NocSim::new(faults, SimConfig::default());
+        sim.fabric_mut().set_threads(threads);
         let report = sim.run(TrafficPattern::UniformRandom, requests, &mut rng);
         let key = metric_key(name);
         sink.counter_add(
@@ -90,6 +96,7 @@ fn main() {
         ),
     ] {
         let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
+        sim.fabric_mut().set_threads(threads);
         let report = sim.run(pattern, requests, &mut rng);
         let key = metric_key(name);
         sink.gauge_set(
@@ -162,6 +169,72 @@ fn main() {
         format!("{:.2}%", dead as f64 / total * 100.0),
         Some("<2% even before relaying"),
     );
+
+    header(
+        "Parallel backend",
+        "full-wafer 32x32 fabric, uniform random, 1 thread vs N",
+    );
+    let wafer = TileArray::new(32, 32);
+    let wafer_requests: u64 = if opts.smoke { 500 } else { 20_000 };
+    let run_wafer = |threads: usize| {
+        let mut rng = seeded_rng(seed + 9);
+        let mut sim = NocSim::new(FaultMap::none(wafer), SimConfig::default());
+        sim.fabric_mut().set_threads(threads);
+        let start = Instant::now();
+        let report = sim.run(TrafficPattern::UniformRandom, wafer_requests, &mut rng);
+        (report, start.elapsed())
+    };
+    let (seq_report, seq_wall) = run_wafer(1);
+    let (par_report, par_wall) = run_wafer(threads);
+    assert_eq!(
+        seq_report, par_report,
+        "parallel fabric diverged from sequential on the full wafer"
+    );
+    sink.counter_add(
+        "noc.full_wafer.requests_injected",
+        par_report.requests_injected,
+    );
+    sink.gauge_set(
+        "noc.full_wafer.mean_request_cycles",
+        par_report.mean_request_latency(),
+    );
+    sink.gauge_set(
+        "noc.full_wafer.throughput_pkt_per_cycle",
+        par_report.throughput(),
+    );
+    row(&[
+        "threads".to_string(),
+        "wall ms".to_string(),
+        "speedup".to_string(),
+        "identical".to_string(),
+    ]);
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64();
+    row(&[
+        "1".to_string(),
+        format!("{:.1}", seq_wall.as_secs_f64() * 1e3),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]);
+    row(&[
+        format!("{threads}"),
+        format!("{:.1}", par_wall.as_secs_f64() * 1e3),
+        format!("{speedup:.2}"),
+        "true".to_string(),
+    ]);
+    // Wall-clock gauges only outside smoke mode: the smoke JSON must be
+    // byte-identical across thread counts (the CI determinism gate diffs it).
+    if !opts.smoke {
+        sink.gauge_set("noc.full_wafer.threads", threads as f64);
+        sink.gauge_set(
+            "noc.full_wafer.wall_ms_1_thread",
+            seq_wall.as_secs_f64() * 1e3,
+        );
+        sink.gauge_set(
+            "noc.full_wafer.wall_ms_n_threads",
+            par_wall.as_secs_f64() * 1e3,
+        );
+        sink.gauge_set("noc.full_wafer.speedup", speedup);
+    }
 
     opts.write_outputs("fig7_network", &recorder);
 }

@@ -5,8 +5,15 @@
 //! Run with `cargo run --release -p wsp-bench --bin workloads`.
 //! Accepts `--json <path>` (metrics report), `--trace <path>` (Chrome
 //! trace of an instrumented stencil machine run spanning the machine,
-//! fabric, PDN, clock, and DfT subsystems), `--seed <u64>`, and
-//! `--smoke` (reduced graph sizes).
+//! fabric, PDN, clock, and DfT subsystems), `--seed <u64>`,
+//! `--threads <n>` (deterministic parallel backend), and `--smoke`
+//! (reduced graph sizes).
+//!
+//! Exits non-zero if any fault-tolerance row could not find a connected
+//! fault map within its resample budget (the row is reported as an error
+//! rather than a panic, so the remaining rows and outputs still land).
+
+use std::time::Instant;
 
 use waferscale::workload::{
     reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind, StencilGrid,
@@ -26,7 +33,9 @@ fn main() {
     let opts = BenchOpts::from_env();
     let recorder = SharedRecorder::new();
     let mut sink = recorder.clone();
-    let mut rng = seeded_rng(opts.seed_or(1234));
+    let threads = opts.threads_or_available();
+    let seed = opts.seed_or(1234);
+    let mut rng = seeded_rng(seed);
     let bfs_vertices = if opts.smoke { 2_000 } else { 20_000 };
     let small_vertices = if opts.smoke { 1_000 } else { 5_000 };
     let graph = Graph::generate(
@@ -164,7 +173,7 @@ fn main() {
     row(&[
         "faulty tiles",
         "usable cores",
-        "cycles",
+        "mean cycles",
         "slowdown",
         "correct",
     ]);
@@ -174,32 +183,73 @@ fn main() {
         &mut rng,
     );
     let base_cfg = SystemConfig::with_array(TileArray::new(8, 8));
-    let mut base_cycles = None;
+    // Connected fault maps averaged per row, and the resample budget per map.
+    const FAULT_SAMPLES: usize = 8;
+    const RESAMPLE_BUDGET: usize = 32;
+    let mut sampling_failures = 0usize;
+    let mut base_cycles: Option<f64> = None;
     for faults_n in [0usize, 2, 4, 8] {
-        // A sampled map can wall healthy tiles off from the rest of the
-        // wafer, which legitimately makes some graph owners unreachable;
-        // resample until the kernel can route (bounded to stay loud on
-        // systematic failures).
-        let (system, dist, report) = (0..32)
-            .find_map(|_| {
-                let faults = FaultMap::sample_uniform(base_cfg.array(), faults_n, &mut rng);
+        // Each row draws its fault maps from a sub-seed derived only from
+        // the base seed and the row's fault count. With the previous single
+        // shared stream, one row's resampling shifted every later row's
+        // maps, and the 4-fault row could land on a lucky map that beat the
+        // 0-fault baseline (slowdown 0.997). Averaging a few maps per row
+        // also keeps one outlier map from defining the row.
+        let mut fault_rng =
+            seeded_rng(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(faults_n as u64 + 1));
+        // (cycles, usable cores, answer correct) per connected map.
+        let mut samples: Vec<(u64, usize, bool)> = Vec::new();
+        for _ in 0..FAULT_SAMPLES {
+            // A sampled map can wall healthy tiles off from the rest of the
+            // wafer, which legitimately makes some graph owners unreachable;
+            // resample until the kernel can route (bounded to stay loud on
+            // systematic failures).
+            let connected = (0..RESAMPLE_BUDGET).find_map(|_| {
+                let faults = FaultMap::sample_uniform(base_cfg.array(), faults_n, &mut fault_rng);
                 let system = WaferscaleSystem::with_faults(base_cfg, faults);
-                run_bfs(&system, &g, 0)
-                    .ok()
-                    .map(|(dist, report)| (system, dist, report))
-            })
-            .expect("a connected fault map within 32 samples");
-        let base = *base_cycles.get_or_insert(report.cycles);
+                run_bfs(&system, &g, 0).ok().map(|(dist, report)| {
+                    (
+                        report.cycles,
+                        system.faults().healthy_count() * 14,
+                        dist == g.reference_bfs(0),
+                    )
+                })
+            });
+            match connected {
+                Some(sample) => samples.push(sample),
+                None => break,
+            }
+        }
+        if samples.len() < FAULT_SAMPLES {
+            sampling_failures += 1;
+            sink.counter_add("machine.bfs_faults.sampling_failures", 1);
+            row(&[
+                format!("{faults_n}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("ERROR: no connected fault map in {RESAMPLE_BUDGET} samples"),
+            ]);
+            continue;
+        }
+        let mean_cycles =
+            samples.iter().map(|&(c, _, _)| c as f64).sum::<f64>() / samples.len() as f64;
+        let mean_cores =
+            samples.iter().map(|&(_, u, _)| u as f64).sum::<f64>() / samples.len() as f64;
+        let all_correct = samples.iter().all(|&(_, _, ok)| ok);
+        let base = *base_cycles.get_or_insert(mean_cycles);
+        let slowdown = mean_cycles / base;
+        sink.gauge_set(&format!("machine.bfs_faults.{faults_n}.slowdown"), slowdown);
         sink.gauge_set(
-            &format!("machine.bfs_faults.{faults_n}.slowdown"),
-            report.cycles as f64 / base as f64,
+            &format!("machine.bfs_faults.{faults_n}.mean_cycles"),
+            mean_cycles,
         );
         row(&[
             format!("{faults_n}"),
-            format!("{}", system.faults().healthy_count() * 14),
-            format!("{}", report.cycles),
-            format!("{:.2}x", report.cycles as f64 / base as f64),
-            format!("{}", dist == g.reference_bfs(0)),
+            format!("{mean_cores:.0}"),
+            format!("{mean_cycles:.0}"),
+            format!("{slowdown:.2}x"),
+            format!("{all_correct}"),
         ]);
     }
     result_line(
@@ -208,8 +258,114 @@ fn main() {
         Some("the kernel reroutes around the fault map"),
     );
 
-    traced_stencil_run(&recorder);
+    if !opts.smoke {
+        full_wafer_machine_bench(&mut sink, threads);
+    }
+    traced_stencil_run(&recorder, threads);
     opts.write_outputs("workloads", &recorder);
+    if sampling_failures > 0 {
+        eprintln!(
+            "error: {sampling_failures} fault-tolerance row(s) found no connected fault map \
+             within {RESAMPLE_BUDGET} samples (see table above)"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Builds an `n`×`n` fabric-model machine with every tile's first two
+/// cores running the halo-exchange read loop against their east
+/// neighbour — the kernel shape of the traced stencil showcase, reused
+/// at full-wafer scale for the parallel-backend measurement.
+fn build_halo_machine(n: u16, threads: usize) -> MultiTileMachine {
+    const HALO_WORDS: u32 = 8;
+    let array = TileArray::new(n, n);
+    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
+    let mut m = MultiTileMachine::new(cfg, FaultMap::none(array));
+    m.set_threads(threads);
+    for y in 0..n {
+        for x in 0..n {
+            let east = TileCoord::new((x + 1) % n, y);
+            for core in 0..2u32 {
+                let base = m.global_address(east, core * 64).expect("mapped");
+                let program = Program::builder()
+                    .ldi(Reg::R1, base)
+                    .ldi(Reg::R5, 0)
+                    .ldi(Reg::R3, HALO_WORDS)
+                    .ldi(Reg::R0, 0)
+                    .label("halo")
+                    .ld(Reg::R2, Reg::R1, 0)
+                    .add(Reg::R5, Reg::R5, Reg::R2)
+                    .addi(Reg::R1, Reg::R1, 4)
+                    .addi(Reg::R3, Reg::R3, -1)
+                    .bne(Reg::R3, Reg::R0, "halo")
+                    .halt()
+                    .build()
+                    .expect("builds");
+                m.load_program(TileCoord::new(x, y), core as usize, &program)
+                    .expect("loads");
+            }
+        }
+    }
+    m
+}
+
+/// The machine-layer speedup measurement: a full-wafer 32×32
+/// fabric-model machine runs the halo-exchange kernel at one thread and
+/// at `threads`, asserting the results are bit-identical and recording
+/// both wall-clocks. Skipped in smoke mode (wall-clock gauges would
+/// break the byte-identical-JSON determinism gate).
+fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize) {
+    header(
+        "Parallel backend",
+        "full-wafer 32x32 machine halo exchange, 1 thread vs N",
+    );
+    let run = |threads: usize| {
+        let mut m = build_halo_machine(32, threads);
+        let start = Instant::now();
+        let stats = m.run_until_halt(1_000_000).expect("halts");
+        (stats, start.elapsed())
+    };
+    let (seq_stats, seq_wall) = run(1);
+    let (par_stats, par_wall) = run(threads);
+    assert_eq!(
+        seq_stats, par_stats,
+        "parallel machine diverged from sequential on the full wafer"
+    );
+    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64();
+    row(&["threads", "wall ms", "speedup"]);
+    row(&[
+        "1".to_string(),
+        format!("{:.1}", seq_wall.as_secs_f64() * 1e3),
+        "1.00".to_string(),
+    ]);
+    row(&[
+        format!("{threads}"),
+        format!("{:.1}", par_wall.as_secs_f64() * 1e3),
+        format!("{speedup:.2}"),
+    ]);
+    sink.gauge_set("machine.full_wafer.cycles", par_stats.cycles as f64);
+    sink.gauge_set(
+        "machine.full_wafer.remote_accesses",
+        par_stats.remote_accesses as f64,
+    );
+    sink.gauge_set("machine.full_wafer.threads", threads as f64);
+    sink.gauge_set(
+        "machine.full_wafer.wall_ms_1_thread",
+        seq_wall.as_secs_f64() * 1e3,
+    );
+    sink.gauge_set(
+        "machine.full_wafer.wall_ms_n_threads",
+        par_wall.as_secs_f64() * 1e3,
+    );
+    sink.gauge_set("machine.full_wafer.speedup", speedup);
+    result_line(
+        "full-wafer machine",
+        format!(
+            "{} cycles, bit-identical at 1 and {threads} thread(s), speedup {speedup:.2}x",
+            par_stats.cycles
+        ),
+        None,
+    );
 }
 
 /// The instrumented showcase run behind `--trace`: a 4×4 multi-tile
@@ -218,9 +374,8 @@ fn main() {
 /// and a DfT program load are traced alongside it, and the machine's
 /// per-tile activity drives a traced PDN solve — one timeline covering
 /// five subsystems.
-fn traced_stencil_run(recorder: &SharedRecorder) {
+fn traced_stencil_run(recorder: &SharedRecorder, threads: usize) {
     const N: u16 = 4;
-    const HALO_WORDS: u32 = 8;
     let mut sink = recorder.clone();
 
     header(
@@ -249,34 +404,9 @@ fn traced_stencil_run(recorder: &SharedRecorder) {
     TestSchedule::paper_multichain().trace_load(16 * 1024, &mut sink);
 
     // The halo-exchange machine, fully instrumented.
-    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
-    let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+    let mut m = build_halo_machine(N, threads);
     m.set_sink(recorder.boxed());
     m.fabric_mut().set_sink(recorder.boxed());
-    for y in 0..N {
-        for x in 0..N {
-            let east = TileCoord::new((x + 1) % N, y);
-            for core in 0..2u32 {
-                let base = m.global_address(east, core * 64).expect("mapped");
-                let program = Program::builder()
-                    .ldi(Reg::R1, base)
-                    .ldi(Reg::R5, 0)
-                    .ldi(Reg::R3, HALO_WORDS)
-                    .ldi(Reg::R0, 0)
-                    .label("halo")
-                    .ld(Reg::R2, Reg::R1, 0)
-                    .add(Reg::R5, Reg::R5, Reg::R2)
-                    .addi(Reg::R1, Reg::R1, 4)
-                    .addi(Reg::R3, Reg::R3, -1)
-                    .bne(Reg::R3, Reg::R0, "halo")
-                    .halt()
-                    .build()
-                    .expect("builds");
-                m.load_program(TileCoord::new(x, y), core as usize, &program)
-                    .expect("loads");
-            }
-        }
-    }
     let stats = m.run_until_halt(1_000_000).expect("halts");
     m.export_metrics(&mut sink);
     result_line(

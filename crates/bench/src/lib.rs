@@ -20,6 +20,9 @@ use wsp_telemetry::SharedRecorder;
 ///   (binaries without event sources write an empty trace);
 /// - `--seed <u64>` — override the deterministic RNG seed (binaries
 ///   without randomness ignore it);
+/// - `--threads <n>` — worker threads for the deterministic parallel
+///   backend (default: the machine's available parallelism; results are
+///   bit-identical at any value);
 /// - `--smoke` — shrink the workload to a seconds-scale smoke run.
 ///
 /// # Examples
@@ -45,6 +48,8 @@ pub struct BenchOpts {
     pub trace: Option<PathBuf>,
     /// Seed override for the binary's deterministic RNG streams.
     pub seed: Option<u64>,
+    /// Worker-thread override for the deterministic parallel backend.
+    pub threads: Option<usize>,
     /// Whether to run the reduced smoke workload.
     pub smoke: bool,
 }
@@ -56,7 +61,9 @@ impl BenchOpts {
             Ok(opts) => opts,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("usage: [--json <path>] [--trace <path>] [--seed <u64>] [--smoke]");
+                eprintln!(
+                    "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] [--smoke]"
+                );
                 std::process::exit(2);
             }
         }
@@ -88,6 +95,15 @@ impl BenchOpts {
                         .map_err(|_| format!("invalid seed {raw:?}"))?;
                     opts.seed = Some(seed);
                 }
+                "--threads" => {
+                    let raw = args.next().ok_or("--threads requires a value")?;
+                    let threads = raw
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t > 0)
+                        .ok_or_else(|| format!("invalid thread count {raw:?}"))?;
+                    opts.threads = Some(threads);
+                }
                 "--smoke" => opts.smoke = true,
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -98,6 +114,13 @@ impl BenchOpts {
     /// The seed to use: the `--seed` override, else `default`.
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// The worker-thread count to use: the `--threads` override, else the
+    /// machine's available parallelism.
+    pub fn threads_or_available(&self) -> usize {
+        self.threads
+            .unwrap_or_else(wsp_common::parallel::available_threads)
     }
 
     /// Writes the requested outputs from `recorder`: the metrics report
@@ -186,21 +209,41 @@ mod tests {
     #[test]
     fn opts_parse_all_flags() {
         let opts = parse(&[
-            "--json", "a.json", "--trace", "t.json", "--seed", "9", "--smoke",
+            "--json",
+            "a.json",
+            "--trace",
+            "t.json",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--smoke",
         ])
         .expect("valid");
         assert_eq!(opts.json.as_deref(), Some(Path::new("a.json")));
         assert_eq!(opts.trace.as_deref(), Some(Path::new("t.json")));
         assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.threads, Some(4));
+        assert_eq!(opts.threads_or_available(), 4);
         assert!(opts.smoke);
         assert_eq!(opts.seed_or(7), 9);
         assert_eq!(parse(&[]).expect("empty ok").seed_or(7), 7);
     }
 
     #[test]
+    fn threads_default_to_available_parallelism() {
+        let opts = parse(&[]).expect("empty ok");
+        assert_eq!(opts.threads, None);
+        assert!(opts.threads_or_available() >= 1);
+    }
+
+    #[test]
     fn opts_reject_bad_input() {
         assert!(parse(&["--json"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "nope"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 
@@ -224,6 +267,7 @@ mod tests {
             json: Some(dir.join("m.json")),
             trace: Some(dir.join("t.json")),
             seed: None,
+            threads: None,
             smoke: false,
         };
         opts.write_outputs("unit", &recorder);

@@ -16,6 +16,7 @@
 //! assert_eq!(droop, Volts(0.87));
 //! ```
 
+pub mod parallel;
 pub mod rng;
 pub mod units;
 

@@ -26,14 +26,18 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
 
+use wsp_common::parallel::{band_ranges, WorkerPool};
 use wsp_noc::{Fabric, FabricPacket, NetworkChoice, PacketKind, RoutePlanner};
-use wsp_telemetry::{NoopSink, Sink};
+use wsp_telemetry::{BufferedSink, NoopSink, Sink};
 use wsp_tile::{
-    memory::GLOBAL_REGION_BYTES, AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState,
-    Crossbar, MemoryChiplet, PendingAccess, StepError, GLOBAL_BASE,
+    memory::{bank_of_offset, GLOBAL_REGION_BYTES},
+    AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState, Crossbar, MemoryChiplet,
+    PendingAccess, StepError, GLOBAL_BASE,
 };
-use wsp_topo::{FaultMap, TileCoord};
+use wsp_topo::{FaultMap, TileArray, TileCoord};
 
 use crate::config::{LatencyModel, SystemConfig};
 
@@ -158,6 +162,9 @@ pub struct MultiTileMachine {
     network_stall_cycles: u64,
     remote_latency_total: u64,
     bank_conflicts: u64,
+    /// Worker pool for the fabric-model tile-step phase, shared with the
+    /// fabric's plan phase. `None` steps inline on the caller.
+    pool: Option<Arc<WorkerPool>>,
     /// Telemetry sink; [`NoopSink`] by default. Remote completions record
     /// a latency histogram sample, bank denials bump a counter, and
     /// [`MultiTileMachine::run_until_halt`] emits a `machine` run span.
@@ -198,8 +205,25 @@ impl MultiTileMachine {
             network_stall_cycles: 0,
             remote_latency_total: 0,
             bank_conflicts: 0,
+            pool: None,
             sink: Box::new(NoopSink),
         }
+    }
+
+    /// Steps the fabric-model tile phase (and the fabric's plan phase)
+    /// with `threads` worker shards. Observable behaviour — memory
+    /// contents, [`MachineStats`], telemetry stream — is bit-identical at
+    /// any thread count; `threads <= 1` drops back to inline stepping.
+    /// The analytic latency model performs cross-tile accesses
+    /// synchronously and always steps sequentially.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+        self.fabric.set_pool(self.pool.clone());
+    }
+
+    /// Shards used by the tile-step phase.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Installs a telemetry sink for machine-level events (remote-latency
@@ -318,23 +342,41 @@ impl MultiTileMachine {
     ///
     /// # Errors
     ///
-    /// Propagates the first core fault (identified by tile and core).
+    /// Propagates the first core fault in canonical tile/core order.
+    /// (With multiple shards a fault does not stop *other* bands from
+    /// finishing the cycle, so post-fault machine state may differ from a
+    /// sequential run — the error returned is the same, and a faulted run
+    /// is aborted anyway.)
     pub fn step(&mut self) -> Result<(), RunMachineError> {
         self.cycles += 1;
+        match self.config.latency_model() {
+            LatencyModel::Analytic => self.step_tiles_analytic()?,
+            LatencyModel::Fabric => {
+                self.step_tiles_fabric()?;
+                self.advance_fabric();
+            }
+        }
+        Ok(())
+    }
+
+    /// One cycle of the analytic model: always sequential, because an
+    /// analytic remote access performs synchronously at the *owner*
+    /// tile's crossbar, which may live in any band.
+    fn step_tiles_analytic(&mut self) -> Result<(), RunMachineError> {
         let array = self.faults.array();
         for xbar in &mut self.crossbars {
             xbar.begin_cycle();
         }
-        let rotate = (self.cycles % self.config.cores_per_tile() as u64) as usize;
+        let n = self.config.cores_per_tile();
+        let rotate = (self.cycles % n as u64) as usize;
         for tile_idx in 0..array.tile_count() {
             let tile = array.coord_of(tile_idx);
             if self.faults.is_faulty(tile) {
                 continue;
             }
-            let n = self.config.cores_per_tile();
             for i in 0..n {
                 let core_idx = (i + rotate) % n;
-                let outcome = self.step_core(tile_idx, core_idx);
+                let outcome = self.step_core_analytic(tile_idx, core_idx);
                 outcome.map_err(|source| RunMachineError::CoreFault {
                     tile,
                     core: core_idx,
@@ -342,10 +384,139 @@ impl MultiTileMachine {
                 })?;
             }
         }
-        if self.config.latency_model() == LatencyModel::Fabric {
-            self.advance_fabric();
-        }
         Ok(())
+    }
+
+    /// One cycle of the fabric model's tile phase, sharded into row bands.
+    ///
+    /// Under the fabric model every cross-tile interaction is deferred: a
+    /// core touching a remote owner only *records an injection intent*,
+    /// so each band reads and writes nothing outside its own tiles and
+    /// the bands are data-independent. The sequential commit below then
+    /// merges shard counters, replays buffered telemetry, and performs
+    /// the intents (id allocation, packet injection, pending-slot arming)
+    /// in canonical `(band, tile, rotated core)` order — exactly the
+    /// order the sequential engine issues them in, which is what makes
+    /// the machine bit-identical at any thread count.
+    fn step_tiles_fabric(&mut self) -> Result<(), RunMachineError> {
+        let array = self.faults.array();
+        let tiles = array.tile_count();
+        let cores_per_tile = self.config.cores_per_tile();
+        let rotate = (self.cycles % cores_per_tile as u64) as usize;
+        let cycles = self.cycles;
+        let telemetry_on = self.sink.enabled();
+
+        let bands = match &self.pool {
+            None => band_ranges(tiles, 1),
+            Some(pool) => band_ranges(tiles, pool.threads()),
+        };
+
+        let outs: Vec<ShardOut> = {
+            let MultiTileMachine {
+                faults,
+                planner,
+                cores,
+                memories,
+                crossbars,
+                pending,
+                pool,
+                ..
+            } = self;
+            let mut shards = Vec::with_capacity(bands.len());
+            {
+                let mut rest = (
+                    cores.as_mut_slice(),
+                    memories.as_mut_slice(),
+                    crossbars.as_mut_slice(),
+                    pending.as_mut_slice(),
+                );
+                let mut offset = 0;
+                for band in &bands {
+                    let take = band.end - offset;
+                    let (c, ct) = rest.0.split_at_mut(take);
+                    let (m, mt) = rest.1.split_at_mut(take);
+                    let (x, xt) = rest.2.split_at_mut(take);
+                    let (p, pt) = rest.3.split_at_mut(take);
+                    rest = (ct, mt, xt, pt);
+                    offset = band.end;
+                    shards.push(FabricShard {
+                        band: band.clone(),
+                        cores: c,
+                        memories: m,
+                        crossbars: x,
+                        pending: p,
+                    });
+                }
+            }
+            let step_shard = |shard: FabricShard<'_>| {
+                let mut out = ShardOut::new(telemetry_on);
+                step_fabric_band(
+                    array,
+                    faults,
+                    planner,
+                    shard,
+                    rotate,
+                    cores_per_tile,
+                    cycles,
+                    &mut out,
+                );
+                out
+            };
+            match pool {
+                None => {
+                    let shard = shards.pop().expect("one band without a pool");
+                    vec![step_shard(shard)]
+                }
+                Some(pool) => pool.map(shards, |_, shard| step_shard(shard)),
+            }
+        };
+
+        // Sequential commit, in band order.
+        let mut first_error: Option<RunMachineError> = None;
+        for mut out in outs {
+            self.local_accesses += out.local_accesses;
+            self.remote_accesses += out.remote_accesses;
+            self.network_stall_cycles += out.network_stall_cycles;
+            self.remote_latency_total += out.remote_latency_total;
+            self.bank_conflicts += out.bank_conflicts;
+            out.telemetry.replay(self.sink.as_mut());
+            for intent in out.intents {
+                let id = self.fabric.allocate_id();
+                let packet = FabricPacket::request(
+                    id,
+                    array.coord_of(intent.tile_idx),
+                    intent.owner,
+                    intent.choice,
+                    self.fabric.cycle(),
+                );
+                if self.fabric.inject(packet) {
+                    self.in_flight.insert(
+                        id,
+                        RemoteOp {
+                            tile_idx: intent.tile_idx,
+                            core_idx: intent.core_idx,
+                            access: intent.access,
+                            result: None,
+                        },
+                    );
+                    self.pending[intent.tile_idx][intent.core_idx] =
+                        Some(PendingAccess::InFlight {
+                            addr: intent.addr,
+                            issued_at: cycles,
+                        });
+                }
+                // On injection backpressure the id is burned (ids count
+                // attempts, as in the traffic layer) and the core
+                // retries next cycle.
+            }
+            if first_error.is_none() {
+                first_error = out.error;
+            }
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
     }
 
     /// Moves the fabric one cycle and services what it delivered:
@@ -431,12 +602,13 @@ impl MultiTileMachine {
         }
     }
 
-    /// Steps one core, servicing local and remote shared accesses.
-    fn step_core(&mut self, tile_idx: usize, core_idx: usize) -> Result<(), StepError> {
+    /// Steps one core under the analytic latency model, servicing local
+    /// and remote shared accesses. (Fabric-model cores step through
+    /// [`step_fabric_band`], which never leaves its band.)
+    fn step_core_analytic(&mut self, tile_idx: usize, core_idx: usize) -> Result<(), StepError> {
         let array = self.faults.array();
         let my_tile = array.coord_of(tile_idx);
         let cycles = self.cycles;
-        let latency_model = self.config.latency_model();
 
         // Split the borrows the closure needs out of `self`.
         let Self {
@@ -446,8 +618,6 @@ impl MultiTileMachine {
             memories,
             crossbars,
             pending,
-            fabric,
-            in_flight,
             local_accesses,
             remote_accesses,
             network_stall_cycles,
@@ -459,19 +629,6 @@ impl MultiTileMachine {
         let telemetry_on = sink.enabled();
         let pending_slot = &mut pending[tile_idx][core_idx];
 
-        // Decode helper over the split borrows.
-        let decode = |addr: u32| -> Result<(usize, u32), AccessMemoryError> {
-            if addr < GLOBAL_BASE {
-                return Err(AccessMemoryError::OutOfRange { addr });
-            }
-            let off = addr - GLOBAL_BASE;
-            let t = (off as usize) / GLOBAL_REGION_BYTES;
-            if t >= array.tile_count() || faults.is_faulty(array.coord_of(t)) {
-                return Err(AccessMemoryError::OutOfRange { addr });
-            }
-            Ok((t, off % GLOBAL_REGION_BYTES as u32))
-        };
-
         // Take the core out to avoid aliasing the vectors inside the
         // closure (memories/crossbars of *other* tiles are touched).
         let core = &mut cores[tile_idx][core_idx];
@@ -481,7 +638,7 @@ impl MultiTileMachine {
                 | BusAccess::Store { addr, .. }
                 | BusAccess::AmoAdd { addr, .. } => addr,
             };
-            let (owner_idx, offset) = decode(addr)?;
+            let (owner_idx, offset) = decode_global(array, faults, addr)?;
 
             // An analytic remote access whose modelled round trip has
             // elapsed performs at the owner's crossbar below.
@@ -524,59 +681,22 @@ impl MultiTileMachine {
                         if choice == NetworkChoice::Disconnected {
                             return Err(AccessMemoryError::OutOfRange { addr });
                         }
-                        match latency_model {
-                            LatencyModel::Analytic => {
-                                let hops = match choice {
-                                    NetworkChoice::Direct(_) => {
-                                        u64::from(my_tile.manhattan_distance(owner))
-                                    }
-                                    NetworkChoice::Relay { via, .. } => {
-                                        u64::from(my_tile.manhattan_distance(via))
-                                            + u64::from(via.manhattan_distance(owner))
-                                    }
-                                    NetworkChoice::Disconnected => unreachable!(),
-                                };
-                                let latency = 2 * hops * CYCLES_PER_HOP + REMOTE_OVERHEAD;
-                                *pending_slot = Some(PendingAccess::WaitUntil {
-                                    addr,
-                                    issued_at: cycles,
-                                    ready_at: cycles + latency,
-                                });
+                        let hops = match choice {
+                            NetworkChoice::Direct(_) => {
+                                u64::from(my_tile.manhattan_distance(owner))
                             }
-                            LatencyModel::Fabric => {
-                                // Validate the owner-side access now so the
-                                // fault surfaces on the issuing core; the
-                                // service path can then assume success.
-                                memories[owner_idx].bank_of(offset)?;
-                                let id = fabric.allocate_id();
-                                let packet = FabricPacket::request(
-                                    id,
-                                    my_tile,
-                                    owner,
-                                    choice,
-                                    fabric.cycle(),
-                                );
-                                if fabric.inject(packet) {
-                                    in_flight.insert(
-                                        id,
-                                        RemoteOp {
-                                            tile_idx,
-                                            core_idx,
-                                            access,
-                                            result: None,
-                                        },
-                                    );
-                                    *pending_slot = Some(PendingAccess::InFlight {
-                                        addr,
-                                        issued_at: cycles,
-                                    });
-                                }
-                                // On injection backpressure the id is
-                                // burned (ids count attempts, as in the
-                                // traffic layer) and the core retries
-                                // next cycle.
+                            NetworkChoice::Relay { via, .. } => {
+                                u64::from(my_tile.manhattan_distance(via))
+                                    + u64::from(via.manhattan_distance(owner))
                             }
-                        }
+                            NetworkChoice::Disconnected => unreachable!(),
+                        };
+                        let latency = 2 * hops * CYCLES_PER_HOP + REMOTE_OVERHEAD;
+                        *pending_slot = Some(PendingAccess::WaitUntil {
+                            addr,
+                            issued_at: cycles,
+                            ready_at: cycles + latency,
+                        });
                         *network_stall_cycles += 1;
                         return Ok(BusGrant::Stalled);
                     }
@@ -701,6 +821,230 @@ impl MultiTileMachine {
             self.fabric.export_metrics(sink);
         }
     }
+}
+
+/// Decodes a global address to `(tile index, bank offset)` using only
+/// shared (`Sync`) machine state, so fabric shards can call it.
+fn decode_global(
+    array: TileArray,
+    faults: &FaultMap,
+    addr: u32,
+) -> Result<(usize, u32), AccessMemoryError> {
+    if addr < GLOBAL_BASE {
+        return Err(AccessMemoryError::OutOfRange { addr });
+    }
+    let off = addr - GLOBAL_BASE;
+    let t = (off as usize) / GLOBAL_REGION_BYTES;
+    if t >= array.tile_count() || faults.is_faulty(array.coord_of(t)) {
+        return Err(AccessMemoryError::OutOfRange { addr });
+    }
+    Ok((t, off % GLOBAL_REGION_BYTES as u32))
+}
+
+/// The mutable band of machine state one fabric shard owns for a cycle:
+/// disjoint slices carved out of the per-tile vectors with
+/// `split_at_mut`, so shards can run on worker threads without locks.
+struct FabricShard<'a> {
+    /// Global tile indices `band.start..band.end`; slice index `i` within
+    /// this shard is tile `band.start + i`.
+    band: Range<usize>,
+    cores: &'a mut [Vec<CoreSim>],
+    memories: &'a mut [MemoryChiplet],
+    crossbars: &'a mut [Crossbar],
+    pending: &'a mut [Vec<Option<PendingAccess>>],
+}
+
+/// A remote access a fabric shard wants injected; the sequential commit
+/// phase performs the injection so packet ids and queue order stay
+/// canonical.
+struct InjectIntent {
+    tile_idx: usize,
+    core_idx: usize,
+    access: BusAccess,
+    owner: TileCoord,
+    choice: NetworkChoice,
+    addr: u32,
+}
+
+/// What one fabric shard produced in one cycle: counter deltas, buffered
+/// telemetry, deferred injections, and the band's first core fault.
+struct ShardOut {
+    local_accesses: u64,
+    remote_accesses: u64,
+    network_stall_cycles: u64,
+    remote_latency_total: u64,
+    bank_conflicts: u64,
+    telemetry: BufferedSink,
+    intents: Vec<InjectIntent>,
+    error: Option<RunMachineError>,
+}
+
+impl ShardOut {
+    fn new(telemetry_on: bool) -> Self {
+        ShardOut {
+            local_accesses: 0,
+            remote_accesses: 0,
+            network_stall_cycles: 0,
+            remote_latency_total: 0,
+            bank_conflicts: 0,
+            telemetry: BufferedSink::new(telemetry_on),
+            intents: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// Steps every core of every healthy tile in one band for one cycle
+/// under the fabric model. Stops at the band's first core fault (matching
+/// the sequential engine, which steps nothing after a fault).
+#[allow(clippy::too_many_arguments)]
+fn step_fabric_band(
+    array: TileArray,
+    faults: &FaultMap,
+    planner: &RoutePlanner,
+    shard: FabricShard<'_>,
+    rotate: usize,
+    cores_per_tile: usize,
+    cycles: u64,
+    out: &mut ShardOut,
+) {
+    let FabricShard {
+        band,
+        cores,
+        memories,
+        crossbars,
+        pending,
+    } = shard;
+    for local_t in 0..band.len() {
+        let tile_idx = band.start + local_t;
+        crossbars[local_t].begin_cycle();
+        let tile = array.coord_of(tile_idx);
+        if faults.is_faulty(tile) {
+            continue;
+        }
+        for i in 0..cores_per_tile {
+            let core_idx = (i + rotate) % cores_per_tile;
+            let outcome = step_one_core_fabric(
+                array,
+                faults,
+                planner,
+                tile_idx,
+                core_idx,
+                cycles,
+                &mut cores[local_t][core_idx],
+                &mut memories[local_t],
+                &mut crossbars[local_t],
+                &mut pending[local_t][core_idx],
+                out,
+            );
+            if let Err(source) = outcome {
+                out.error = Some(RunMachineError::CoreFault {
+                    tile,
+                    core: core_idx,
+                    source,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Steps one fabric-model core. Local accesses arbitrate this tile's
+/// crossbar; remote accesses either consume a delivered response, keep
+/// stalling on one in flight, or record an [`InjectIntent`] for the
+/// commit phase — never touching state outside the shard.
+#[allow(clippy::too_many_arguments)]
+fn step_one_core_fabric(
+    array: TileArray,
+    faults: &FaultMap,
+    planner: &RoutePlanner,
+    tile_idx: usize,
+    core_idx: usize,
+    cycles: u64,
+    core: &mut CoreSim,
+    memory: &mut MemoryChiplet,
+    crossbar: &mut Crossbar,
+    pending_slot: &mut Option<PendingAccess>,
+    out: &mut ShardOut,
+) -> Result<(), StepError> {
+    let my_tile = array.coord_of(tile_idx);
+    core.step(|access| {
+        let addr = match access {
+            BusAccess::Load { addr }
+            | BusAccess::Store { addr, .. }
+            | BusAccess::AmoAdd { addr, .. } => addr,
+        };
+        let (owner_idx, offset) = decode_global(array, faults, addr)?;
+
+        if owner_idx != tile_idx {
+            match *pending_slot {
+                Some(PendingAccess::Ready {
+                    addr: a,
+                    issued_at,
+                    value,
+                }) if a == addr => {
+                    *pending_slot = None;
+                    out.remote_accesses += 1;
+                    let latency = cycles.saturating_sub(issued_at);
+                    out.remote_latency_total += latency;
+                    out.telemetry
+                        .histogram_record("machine.remote_latency_cycles", latency);
+                    return Ok(BusGrant::Granted(value));
+                }
+                Some(PendingAccess::InFlight { addr: a, .. }) if a == addr => {
+                    out.network_stall_cycles += 1;
+                    return Ok(BusGrant::Stalled);
+                }
+                Some(PendingAccess::WaitUntil { .. }) => {
+                    unreachable!("analytic timers never arm under the fabric model")
+                }
+                _ => {
+                    let owner = array.coord_of(owner_idx);
+                    let choice = planner.choose(my_tile, owner);
+                    if choice == NetworkChoice::Disconnected {
+                        return Err(AccessMemoryError::OutOfRange { addr });
+                    }
+                    // Validate the owner-side access now so the fault
+                    // surfaces on the issuing core; the service path can
+                    // then assume success. `bank_of_offset` is pure
+                    // offset math — no cross-shard memory touch.
+                    bank_of_offset(offset)?;
+                    out.intents.push(InjectIntent {
+                        tile_idx,
+                        core_idx,
+                        access,
+                        owner,
+                        choice,
+                        addr,
+                    });
+                    out.network_stall_cycles += 1;
+                    return Ok(BusGrant::Stalled);
+                }
+            }
+        }
+
+        // Arbitrate this tile's own crossbar for a local access.
+        let bank = memory.bank_of(offset)?;
+        if !crossbar.request(bank) {
+            out.bank_conflicts += 1;
+            out.telemetry.counter_add("machine.bank_conflicts", 1);
+            return Ok(BusGrant::Stalled);
+        }
+        out.local_accesses += 1;
+        match access {
+            BusAccess::Load { .. } => Ok(BusGrant::Granted(memory.read_word(offset)?)),
+            BusAccess::Store { value, .. } => {
+                memory.write_word(offset, value)?;
+                Ok(BusGrant::Granted(0))
+            }
+            BusAccess::AmoAdd { value, .. } => {
+                let old = memory.read_word(offset)?;
+                memory.write_word(offset, old.wrapping_add(value))?;
+                Ok(BusGrant::Granted(old))
+            }
+        }
+    })
+    .map(|_| ())
 }
 
 impl fmt::Debug for MultiTileMachine {
@@ -1127,6 +1471,28 @@ mod tests {
         let stats = m.run_until_halt(1_000_000).expect("halts");
         assert_eq!(m.read_word(counter).expect("ok"), 14 * 8);
         assert!(stats.bank_conflicts > 0, "no crossbar denials recorded");
+    }
+
+    #[test]
+    fn fabric_model_is_bit_identical_across_thread_counts() {
+        // The tentpole determinism claim, at machine level: the hotspot
+        // workload (remote traffic, bank contention, backpressure) must
+        // produce the same stats, cycle count, and memory contents no
+        // matter how many shards step the tiles.
+        let hot = TileCoord::new(0, 0);
+        let run = |threads: usize| {
+            let mut m = machine(4);
+            m.set_threads(threads);
+            assert_eq!(m.threads(), threads.max(1));
+            load_hotspot(&mut m, 4, hot);
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            let probe = m.global_address(hot, 0).expect("ok");
+            (stats, m.read_word(probe).expect("ok"))
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
     }
 
     #[test]

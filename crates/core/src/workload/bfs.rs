@@ -50,11 +50,8 @@ pub fn run_bfs(
             vertices: n,
         });
     }
-    let owners: Vec<TileCoord> = system.faults().healthy_tiles().collect();
-    if owners.is_empty() {
-        return Err(RunWorkloadError::NoUsableTiles);
-    }
-    let owner_of = |v: usize| owners[v % owners.len()];
+    let placement = crate::workload::VertexPlacement::new(system)?;
+    let owner_of = |v: usize| placement.owner_of(v);
     let planner = system.route_planner();
     let cores = system.config().cores_per_tile() as u64;
 

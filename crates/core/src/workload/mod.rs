@@ -78,6 +78,60 @@ pub(crate) fn store_and_forward_hops(
     None
 }
 
+/// Fault-stable vertex placement shared by the graph kernels.
+///
+/// Vertex `v`'s *home* is tile `v % tile_count` of the full array —
+/// fixed at load time, independent of the fault map — and vertices homed
+/// on a faulty tile are remapped round-robin across the healthy tiles.
+/// Faults therefore only ever *add* vertices to the survivors; the
+/// placement of every vertex on a healthy tile is untouched.
+///
+/// The previous scheme (`healthy[v % healthy.len()]`) reshuffled **every**
+/// vertex whenever the healthy count changed, so kernel cost versus fault
+/// count was dominated by the modulus, not the faults — a 4-fault wafer
+/// could measure *faster* than a pristine one. With a clean fault map the
+/// two schemes are identical.
+pub(crate) struct VertexPlacement {
+    tiles: Vec<TileCoord>,
+    healthy: Vec<TileCoord>,
+    faulty: Vec<bool>,
+}
+
+impl VertexPlacement {
+    /// Builds the placement for `system`'s current fault map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunWorkloadError::NoUsableTiles`] when every tile is
+    /// faulty.
+    pub(crate) fn new(system: &WaferscaleSystem) -> Result<Self, RunWorkloadError> {
+        let array = system.config().array();
+        let healthy: Vec<TileCoord> = system.faults().healthy_tiles().collect();
+        if healthy.is_empty() {
+            return Err(RunWorkloadError::NoUsableTiles);
+        }
+        Ok(VertexPlacement {
+            tiles: array.tiles().collect(),
+            faulty: array
+                .tiles()
+                .map(|t| system.faults().is_faulty(t))
+                .collect(),
+            healthy,
+        })
+    }
+
+    /// The (healthy) tile that owns vertex `v`.
+    #[inline]
+    pub(crate) fn owner_of(&self, v: usize) -> TileCoord {
+        let home = v % self.tiles.len();
+        if self.faulty[home] {
+            self.healthy[v % self.healthy.len()]
+        } else {
+            self.tiles[home]
+        }
+    }
+}
+
 /// Derives a per-tile current map from a graph workload's data placement,
 /// for feeding into [`wsp_pdn::PdnConfig::solve_with_tile_currents`]:
 /// tiles draw current in proportion to the edge work of the vertices they
@@ -104,16 +158,15 @@ pub(crate) fn store_and_forward_hops(
 /// ```
 pub fn activity_power_map(system: &WaferscaleSystem, graph: &Graph) -> Vec<Amps> {
     let array = system.config().array();
-    let owners: Vec<TileCoord> = system.faults().healthy_tiles().collect();
     let peak = wsp_pdn::PdnConfig::PAPER_TILE_CURRENT;
     let idle = Amps(peak.value() * 0.05);
-    if owners.is_empty() {
+    let Ok(placement) = VertexPlacement::new(system) else {
         return vec![Amps::ZERO; array.tile_count()];
-    }
+    };
     // Edge work per owning tile.
     let mut work = vec![0u64; array.tile_count()];
     for v in 0..graph.vertex_count() {
-        let owner = owners[v % owners.len()];
+        let owner = placement.owner_of(v);
         work[array.index_of(owner)] += graph.degree(v) as u64;
     }
     let max_work = work.iter().copied().max().unwrap_or(0).max(1);

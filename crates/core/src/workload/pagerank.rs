@@ -9,7 +9,6 @@
 //! accumulation is spread across tiles.
 
 use wsp_noc::NetworkChoice;
-use wsp_topo::TileCoord;
 
 use crate::system::WaferscaleSystem;
 use crate::workload::graph::Graph;
@@ -86,11 +85,8 @@ pub fn run_pagerank(
     graph: &Graph,
     iterations: u32,
 ) -> Result<(Vec<u64>, WorkloadReport), RunWorkloadError> {
-    let owners: Vec<TileCoord> = system.faults().healthy_tiles().collect();
-    if owners.is_empty() {
-        return Err(RunWorkloadError::NoUsableTiles);
-    }
-    let owner_of = |v: usize| owners[v % owners.len()];
+    let placement = crate::workload::VertexPlacement::new(system)?;
+    let owner_of = |v: usize| placement.owner_of(v);
     let planner = system.route_planner();
     let cores = system.config().cores_per_tile() as u64;
     let array = system.config().array();

@@ -17,6 +17,19 @@
 //! is empty. Per-link statistics (forwarded packets, stall cycles, peak
 //! queue occupancy) expose where contention concentrates.
 //!
+//! # Deterministic threading
+//!
+//! Each tick is split into a *plan* phase and an *apply* phase. Planning
+//! reads only the pre-cycle router state (queue heads, round-robin
+//! pointers, downstream occupancy), so every tile's arbitration decision
+//! is a pure function of the previous cycle and the tile rows can be
+//! partitioned into bands planned by independent worker threads
+//! ([`Fabric::set_threads`]). The apply phase then commits the planned
+//! moves sequentially in canonical `(network, tile, output port)` order.
+//! Because the plan does not depend on the order bands are computed in,
+//! the fabric is **bit-identical at any thread count** — the parallel
+//! backend is an implementation detail, not a different simulator.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,7 +54,10 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Arc;
 
+use wsp_common::parallel::{band_ranges, WorkerPool};
 use wsp_telemetry::{NoopSink, Sink};
 use wsp_topo::{Direction, TileArray, TileCoord, DIRECTIONS};
 
@@ -203,6 +219,90 @@ pub struct LinkStats {
     pub peak_occupancy: usize,
 }
 
+/// One move decided by the plan phase of a tick, to be committed in
+/// canonical order by the apply phase.
+enum PlannedMove {
+    /// The granted head of `(tile, in_port)` ejects at its endpoint.
+    Eject { tile_idx: usize, in_port: usize },
+    /// The granted head of `(tile, in_port)` traverses the `out_port` link
+    /// into `(nb_idx, in_side)`.
+    Forward {
+        tile_idx: usize,
+        in_port: usize,
+        out_port: usize,
+        nb_idx: usize,
+        in_side: usize,
+    },
+    /// An arbitration winner could not traverse `out_port`: the downstream
+    /// FIFO was full at the start of the cycle.
+    Stall { tile_idx: usize, out_port: usize },
+}
+
+/// The immutable pre-cycle state a plan worker reads. Deliberately *not*
+/// `&Fabric`: the telemetry sink is `Send` but not `Sync`, and planning
+/// must never touch it anyway.
+struct PlanCtx<'a> {
+    array: TileArray,
+    queue_capacity: usize,
+    networks: &'a [Network; 2],
+}
+
+impl PlanCtx<'_> {
+    /// Plans one band of tiles: for every output port of every tile in the
+    /// band, pick the round-robin arbitration winner among the input FIFO
+    /// heads routed to it, against pre-cycle queue state only.
+    fn plan_band(&self, band: Range<usize>) -> [Vec<PlannedMove>; 2] {
+        let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
+        for (network, moves) in self.networks.iter().zip(out.iter_mut()) {
+            for tile_idx in band.clone() {
+                let tile = self.array.coord_of(tile_idx);
+                let queues = &network.queues[tile_idx];
+                // One routing decision per queue head; a head contends for
+                // exactly one output port, so grants never overlap.
+                let head_out: [Option<usize>; 5] = std::array::from_fn(|in_port| {
+                    queues[in_port]
+                        .front()
+                        .map(|p| output_port_of(self.array, tile, p))
+                });
+                // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
+                #[allow(clippy::needless_range_loop)]
+                for out_port in 0..5 {
+                    let start = network.rr[tile_idx][out_port];
+                    let grant = (0..5)
+                        .map(|o| (start + o) % 5)
+                        .find(|&in_port| head_out[in_port] == Some(out_port));
+                    let Some(in_port) = grant else { continue };
+                    if out_port == LOCAL {
+                        moves.push(PlannedMove::Eject { tile_idx, in_port });
+                        continue;
+                    }
+                    let dir = DIRECTIONS[out_port];
+                    let Some(nb) = self.array.neighbor(tile, dir) else {
+                        unreachable!("DoR never routes off the array");
+                    };
+                    let nb_idx = self.array.index_of(nb);
+                    let in_side = dir.opposite().index();
+                    // Pre-cycle occupancy: each input FIFO is fed by one
+                    // physical upstream link, so at most one push lands
+                    // per cycle and the check cannot oversubscribe.
+                    if network.queues[nb_idx][in_side].len() < self.queue_capacity {
+                        moves.push(PlannedMove::Forward {
+                            tile_idx,
+                            in_port,
+                            out_port,
+                            nb_idx,
+                            in_side,
+                        });
+                    } else {
+                        moves.push(PlannedMove::Stall { tile_idx, out_port });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
 /// The reusable dual-network fabric engine. See the module docs for the
 /// contract; construction is per fault-free [`TileArray`] geometry — the
 /// caller is responsible for only injecting packets whose
@@ -217,6 +317,8 @@ pub struct Fabric {
     next_id: u64,
     relay_forwards: u64,
     link_traversals: u64,
+    /// Worker pool for the plan phase; `None` plans inline on the caller.
+    pool: Option<Arc<WorkerPool>>,
     /// Telemetry sink; [`NoopSink`] by default so the hot path pays one
     /// `enabled()` virtual call per tick when tracing is off.
     sink: Box<dyn Sink>,
@@ -238,8 +340,26 @@ impl Fabric {
             next_id: 0,
             relay_forwards: 0,
             link_traversals: 0,
+            pool: None,
             sink: Box::new(NoopSink),
         }
+    }
+
+    /// Plans ticks with `threads` worker shards (row bands). Results are
+    /// bit-identical at any thread count, including 1; `threads <= 1`
+    /// drops back to inline planning with no pool at all.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+    }
+
+    /// Shares an existing worker pool (e.g. the machine's) for planning.
+    pub fn set_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.pool = pool.filter(|p| p.threads() > 1);
+    }
+
+    /// Shards used by the plan phase of each tick.
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
     }
 
     /// Installs a telemetry sink. Each endpoint delivery then emits a
@@ -298,65 +418,71 @@ impl Fabric {
     }
 
     /// Advances one cycle: every router grants each output port to one
-    /// input FIFO round-robin, winners move one hop (or stall on a full
-    /// downstream FIFO), relay packets reaching their intermediate tile
-    /// are re-injected on their second leg, and packets reaching their
-    /// final endpoint are returned in arbitration order.
+    /// input FIFO head round-robin, winners move one hop (or stall on a
+    /// full downstream FIFO), relay packets reaching their intermediate
+    /// tile are re-injected on their second leg, and packets reaching
+    /// their final endpoint are returned in arbitration order.
+    ///
+    /// The grant decisions are planned against the *pre-cycle* state (so
+    /// each input FIFO pops at most once per cycle — one read port per
+    /// FIFO — and a full downstream FIFO stalls the link even if it also
+    /// drains this cycle), then committed sequentially in `(network,
+    /// tile, output port)` order. Planning shards across the worker pool
+    /// when one is installed; see the module docs for why the result is
+    /// bit-identical at any thread count.
     pub fn tick(&mut self) -> Vec<FabricPacket> {
         self.cycle += 1;
 
-        // Two-phase move: plan all transfers against the pre-cycle state,
-        // then apply, so a packet moves at most one hop per cycle.
+        let tiles = self.array.tile_count();
+        let plans: Vec<[Vec<PlannedMove>; 2]> = {
+            let ctx = PlanCtx {
+                array: self.array,
+                queue_capacity: self.queue_capacity,
+                networks: &self.networks,
+            };
+            match &self.pool {
+                None => vec![ctx.plan_band(0..tiles)],
+                Some(pool) => {
+                    let bands = band_ranges(tiles, pool.threads());
+                    pool.map(bands, |_, band| ctx.plan_band(band))
+                }
+            }
+        };
+
+        // Commit phase: bands are concatenated in tile order, so this
+        // replays the canonical sequential (network, tile, out_port) walk.
         let mut arrivals: Vec<(usize, usize, usize, FabricPacket)> = Vec::new();
         let mut ejected: Vec<FabricPacket> = Vec::new();
-
         for net_idx in 0..2 {
-            for tile_idx in 0..self.array.tile_count() {
-                let tile = self.array.coord_of(tile_idx);
-                // For each output port, grant one input queue round-robin.
-                // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
-                #[allow(clippy::needless_range_loop)]
-                for out_port in 0..5 {
-                    let grant = {
-                        let network = &self.networks[net_idx];
-                        let queues = &network.queues[tile_idx];
-                        let start = network.rr[tile_idx][out_port];
-                        (0..5).map(|o| (start + o) % 5).find(|&in_port| {
-                            queues[in_port]
-                                .front()
-                                .is_some_and(|p| self.output_port_of(tile, p) == out_port)
-                        })
-                    };
-                    let Some(in_port) = grant else { continue };
-
-                    // Check downstream capacity / delivery.
-                    if out_port == LOCAL {
-                        let network = &mut self.networks[net_idx];
-                        let packet = network.queues[tile_idx][in_port]
-                            .pop_front()
-                            .expect("granted head");
-                        network.rr[tile_idx][out_port] = (in_port + 1) % 5;
-                        ejected.push(packet);
-                    } else {
-                        let dir = DIRECTIONS[out_port];
-                        let Some(nb) = self.array.neighbor(tile, dir) else {
-                            unreachable!("DoR never routes off the array");
-                        };
-                        let nb_idx = self.array.index_of(nb);
-                        let in_side = dir.opposite().index();
-                        if self.networks[net_idx].queues[nb_idx][in_side].len()
-                            < self.queue_capacity
-                        {
+            for band_plan in &plans {
+                for mv in &band_plan[net_idx] {
+                    match *mv {
+                        PlannedMove::Eject { tile_idx, in_port } => {
+                            let network = &mut self.networks[net_idx];
+                            let packet = network.queues[tile_idx][in_port]
+                                .pop_front()
+                                .expect("planned head");
+                            network.rr[tile_idx][LOCAL] = (in_port + 1) % 5;
+                            ejected.push(packet);
+                        }
+                        PlannedMove::Forward {
+                            tile_idx,
+                            in_port,
+                            out_port,
+                            nb_idx,
+                            in_side,
+                        } => {
                             let network = &mut self.networks[net_idx];
                             let mut packet = network.queues[tile_idx][in_port]
                                 .pop_front()
-                                .expect("granted head");
+                                .expect("planned head");
                             network.rr[tile_idx][out_port] = (in_port + 1) % 5;
                             packet.hops += 1;
                             self.link_traversals += 1;
                             self.links[net_idx][tile_idx][out_port].forwarded += 1;
                             arrivals.push((net_idx, nb_idx, in_side, packet));
-                        } else {
+                        }
+                        PlannedMove::Stall { tile_idx, out_port } => {
                             self.links[net_idx][tile_idx][out_port].stall_cycles += 1;
                         }
                     }
@@ -437,21 +563,6 @@ impl Fabric {
             }
         }
         out
-    }
-
-    /// Output port (0..=3 = direction, 4 = local) for `packet` at `tile`.
-    fn output_port_of(&self, tile: TileCoord, packet: &FabricPacket) -> usize {
-        let target = packet.leg_target();
-        match next_hop(tile, target, packet.network()) {
-            None => LOCAL,
-            Some(nb) => {
-                let dir = DIRECTIONS
-                    .into_iter()
-                    .find(|d| self.array.neighbor(tile, *d) == Some(nb))
-                    .expect("next hop is a neighbour");
-                dir.index()
-            }
-        }
     }
 
     /// Counters for the link leaving `tile` in `dir` on `network`.
@@ -571,6 +682,24 @@ impl Fabric {
     }
 }
 
+/// Output port (0..=3 = direction, 4 = local) for `packet` at `tile`.
+///
+/// A free function (not a `Fabric` method) so plan workers can call it
+/// through [`PlanCtx`] without borrowing the whole fabric.
+fn output_port_of(array: TileArray, tile: TileCoord, packet: &FabricPacket) -> usize {
+    let target = packet.leg_target();
+    match next_hop(tile, target, packet.network()) {
+        None => LOCAL,
+        Some(nb) => {
+            let dir = DIRECTIONS
+                .into_iter()
+                .find(|d| array.neighbor(tile, *d) == Some(nb))
+                .expect("next hop is a neighbour");
+            dir.index()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -685,6 +814,48 @@ mod tests {
         assert_eq!(tile, TileCoord::new(2, 0));
         assert_eq!(dir, Direction::East);
         assert_eq!(net, NetworkKind::Xy);
+    }
+
+    #[test]
+    fn ticks_are_bit_identical_across_thread_counts() {
+        // Flood an 8x8 fabric with a hotspot plus background flows, then
+        // compare every delivery, the cycle count, and the per-link
+        // counters against the single-threaded run.
+        let run = |threads: usize| {
+            let mut fabric = Fabric::new(TileArray::new(8, 8), 2);
+            fabric.set_threads(threads);
+            assert_eq!(fabric.threads(), threads.max(1));
+            for _ in 0..3 {
+                for x in 0..8u16 {
+                    for y in 0..8u16 {
+                        if (x, y) == (4, 4) {
+                            continue;
+                        }
+                        let p = direct_req(&mut fabric, (x, y), (4, 4));
+                        fabric.inject(p);
+                        let q = direct_req(&mut fabric, (x, y), (y, x));
+                        fabric.inject(q);
+                    }
+                }
+            }
+            let delivered: Vec<(u64, u32, u64)> = fabric
+                .drain()
+                .into_iter()
+                .map(|p| (p.id, p.hops, p.injected_at))
+                .collect();
+            (
+                delivered,
+                fabric.cycle(),
+                fabric.link_traversals(),
+                fabric.total_stall_cycles(),
+                fabric.peak_link_occupancy(),
+                fabric.utilization_heatmap(),
+            )
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -77,7 +77,8 @@ impl<T, const DEPTH: usize> AsyncFifo<T, DEPTH> {
     pub fn new() -> Self {
         assert!(
             DEPTH.is_power_of_two() && DEPTH >= 2,
-            "depth must be a power of two, got {DEPTH}"
+            "AsyncFifo DEPTH must be a power of two and at least 2 \
+             (Gray-coded pointers wrap modulo 2*DEPTH), got {DEPTH}"
         );
         AsyncFifo {
             slots: (0..DEPTH).map(|_| None).collect(),
@@ -269,6 +270,36 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_depth_rejected() {
         let _: AsyncFifo<u8, 3> = AsyncFifo::new();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn depth_one_rejected_despite_being_a_power_of_two() {
+        // 1 passes `is_power_of_two`, so the message must call out the
+        // minimum-depth rule rather than blame the power-of-two one.
+        let _: AsyncFifo<u8, 1> = AsyncFifo::new();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn depth_zero_rejected() {
+        let _: AsyncFifo<u8, 0> = AsyncFifo::new();
+    }
+
+    #[test]
+    fn minimal_depth_two_fifo_works_end_to_end() {
+        // The smallest legal FIFO still round-trips data in order with
+        // the full synchroniser delay in play.
+        let mut fifo: AsyncFifo<u8, 2> = AsyncFifo::new();
+        assert!(fifo.push(1));
+        assert!(fifo.push(2));
+        assert!(fifo.writer_sees_full());
+        assert!(!fifo.push(3));
+        fifo.sync_pointers();
+        fifo.sync_pointers();
+        assert_eq!(fifo.pop(), Some(1));
+        assert_eq!(fifo.pop(), Some(2));
+        assert_eq!(fifo.pop(), None);
     }
 
     #[test]

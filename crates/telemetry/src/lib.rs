@@ -47,7 +47,7 @@ mod sink;
 mod trace;
 
 pub use registry::{Histogram, Registry, HISTOGRAM_BUCKETS};
-pub use sink::{NoopSink, Recorder, SharedRecorder, Sink};
+pub use sink::{BufferedSink, NoopSink, Recorder, SharedRecorder, Sink};
 pub use trace::{TraceEvent, Tracer};
 
 /// Identifier of the machine-readable report schema emitted by

@@ -98,6 +98,187 @@ impl Sink for Recorder {
     }
 }
 
+/// One recorded telemetry event, held by a [`BufferedSink`] until replay.
+#[derive(Debug, Clone, PartialEq)]
+enum BufferedEvent {
+    Counter {
+        name: String,
+        delta: u64,
+    },
+    Gauge {
+        name: String,
+        value: f64,
+    },
+    Histogram {
+        name: String,
+        value: u64,
+    },
+    Series {
+        name: String,
+        values: Vec<f64>,
+    },
+    Span {
+        category: String,
+        name: String,
+        track: u64,
+        start: u64,
+        end: u64,
+    },
+    Instant {
+        category: String,
+        name: String,
+        track: u64,
+        at: u64,
+        args: Vec<(String, f64)>,
+    },
+}
+
+/// A sink that buffers events in order for later replay into another sink.
+///
+/// This is the contention-free aggregation primitive for sharded
+/// simulation: each worker shard records into its own private
+/// `BufferedSink` (no locks on the hot path), and the sequential commit
+/// phase replays the buffers into the real sink in canonical shard order —
+/// so the aggregated stream is deterministic at any thread count.
+///
+/// A buffer built with `enabled = false` drops everything, mirroring the
+/// cost model of [`NoopSink`].
+///
+/// # Examples
+///
+/// ```
+/// use wsp_telemetry::{BufferedSink, Recorder, Sink};
+///
+/// let mut shard = BufferedSink::new(true);
+/// shard.counter_add("hits", 2);
+/// shard.histogram_record("latency", 17);
+/// let mut recorder = Recorder::new();
+/// shard.replay(&mut recorder);
+/// assert_eq!(recorder.registry.counter("hits"), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BufferedSink {
+    enabled: bool,
+    events: Vec<BufferedEvent>,
+}
+
+impl BufferedSink {
+    /// An empty buffer; `enabled = false` makes every hook a no-op.
+    pub fn new(enabled: bool) -> Self {
+        BufferedSink {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays every buffered event into `sink` in recording order,
+    /// draining the buffer.
+    pub fn replay(&mut self, sink: &mut dyn Sink) {
+        for event in self.events.drain(..) {
+            match event {
+                BufferedEvent::Counter { name, delta } => sink.counter_add(&name, delta),
+                BufferedEvent::Gauge { name, value } => sink.gauge_set(&name, value),
+                BufferedEvent::Histogram { name, value } => sink.histogram_record(&name, value),
+                BufferedEvent::Series { name, values } => sink.series_set(&name, &values),
+                BufferedEvent::Span {
+                    category,
+                    name,
+                    track,
+                    start,
+                    end,
+                } => sink.span(&category, &name, track, start, end),
+                BufferedEvent::Instant {
+                    category,
+                    name,
+                    track,
+                    at,
+                    args,
+                } => {
+                    let args: Vec<(&str, f64)> =
+                        args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                    sink.instant(&category, &name, track, at, &args);
+                }
+            }
+        }
+    }
+}
+
+impl Sink for BufferedSink {
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Counter {
+                name: name.to_owned(),
+                delta,
+            });
+        }
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Gauge {
+                name: name.to_owned(),
+                value,
+            });
+        }
+    }
+
+    fn histogram_record(&mut self, name: &str, value: u64) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Histogram {
+                name: name.to_owned(),
+                value,
+            });
+        }
+    }
+
+    fn series_set(&mut self, name: &str, values: &[f64]) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Series {
+                name: name.to_owned(),
+                values: values.to_vec(),
+            });
+        }
+    }
+
+    fn span(&mut self, category: &str, name: &str, track: u64, start: u64, end: u64) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Span {
+                category: category.to_owned(),
+                name: name.to_owned(),
+                track,
+                start,
+                end,
+            });
+        }
+    }
+
+    fn instant(&mut self, category: &str, name: &str, track: u64, at: u64, args: &[(&str, f64)]) {
+        if self.enabled {
+            self.events.push(BufferedEvent::Instant {
+                category: category.to_owned(),
+                name: name.to_owned(),
+                track,
+                at,
+                args: args.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            });
+        }
+    }
+}
+
 /// A cheaply clonable, thread-safe handle to one shared [`Recorder`].
 ///
 /// Several subsystems (a machine, its fabric, a PDN solve) each hold a
@@ -225,6 +406,38 @@ mod tests {
         assert_eq!(shared.with(|r| r.tracer.span_count("fabric")), 1);
         assert!(shared.metrics_json("t").contains("\"bench\":\"t\""));
         assert!(shared.trace_json().contains("\"cat\":\"fabric\""));
+    }
+
+    #[test]
+    fn buffered_sink_replays_in_recording_order() {
+        let mut shard = BufferedSink::new(true);
+        assert!(shard.enabled());
+        shard.counter_add("c", 1);
+        shard.counter_add("c", 2);
+        shard.histogram_record("h", 4);
+        shard.gauge_set("g", 2.5);
+        shard.series_set("s", &[1.0, 2.0]);
+        shard.span("m", "work", 3, 10, 20);
+        shard.instant("m", "tick", 3, 15, &[("v", 9.0)]);
+        assert_eq!(shard.len(), 7);
+
+        let mut recorder = Recorder::new();
+        shard.replay(&mut recorder);
+        assert!(shard.is_empty(), "replay drains the buffer");
+        assert_eq!(recorder.registry.counter("c"), 3);
+        assert_eq!(recorder.registry.histogram("h").unwrap().count(), 1);
+        assert_eq!(recorder.registry.gauge("g"), Some(2.5));
+        assert_eq!(recorder.registry.series("s").map(<[f64]>::len), Some(2));
+        assert_eq!(recorder.tracer.len(), 2);
+    }
+
+    #[test]
+    fn disabled_buffered_sink_records_nothing() {
+        let mut shard = BufferedSink::new(false);
+        assert!(!shard.enabled());
+        shard.counter_add("c", 1);
+        shard.span("m", "work", 0, 0, 1);
+        assert!(shard.is_empty());
     }
 
     #[test]

@@ -25,6 +25,40 @@ pub const GLOBAL_REGION_BYTES: usize = GLOBAL_BANKS * BANK_BYTES;
 /// Total capacity of the memory chiplet (640 KB).
 pub const TOTAL_BYTES: usize = BANK_COUNT * BANK_BYTES;
 
+/// The bank a tile-local offset maps to, as pure offset arithmetic:
+/// global offsets word-interleave across banks 0–3, local offsets go to
+/// bank 4.
+///
+/// This is [`MemoryChiplet::bank_of`] without the chiplet: the mapping
+/// depends only on the address, so shared-memory validation (e.g. a
+/// machine shard checking a *remote* tile's bank before queueing a fabric
+/// request) can run without touching the owner's memory instance.
+///
+/// # Errors
+///
+/// Returns an error for misaligned or out-of-range offsets.
+pub fn bank_of_offset(offset: u32) -> Result<usize, AccessMemoryError> {
+    locate(offset).map(|(bank, _)| bank)
+}
+
+/// Maps an offset to `(bank, byte-within-bank)`.
+fn locate(offset: u32) -> Result<(usize, usize), AccessMemoryError> {
+    if !offset.is_multiple_of(4) {
+        return Err(AccessMemoryError::Misaligned { addr: offset });
+    }
+    let off = offset as usize;
+    if off + 4 <= GLOBAL_REGION_BYTES {
+        let word = off / 4;
+        let bank = word % GLOBAL_BANKS;
+        let byte = (word / GLOBAL_BANKS) * 4;
+        Ok((bank, byte))
+    } else if off >= GLOBAL_REGION_BYTES && off + 4 <= TOTAL_BYTES {
+        Ok((GLOBAL_BANKS, off - GLOBAL_REGION_BYTES))
+    } else {
+        Err(AccessMemoryError::OutOfRange { addr: offset })
+    }
+}
+
 /// Memory-access failure modes shared by the tile models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessMemoryError {
@@ -90,8 +124,7 @@ impl MemoryChiplet {
     ///
     /// Returns an error for misaligned or out-of-range offsets.
     pub fn bank_of(&self, offset: u32) -> Result<usize, AccessMemoryError> {
-        let (bank, _) = self.locate(offset)?;
-        Ok(bank)
+        bank_of_offset(offset)
     }
 
     /// Reads a word at `offset`.
@@ -100,7 +133,7 @@ impl MemoryChiplet {
     ///
     /// Returns an error for misaligned or out-of-range offsets.
     pub fn read_word(&self, offset: u32) -> Result<u32, AccessMemoryError> {
-        let (bank, byte) = self.locate(offset)?;
+        let (bank, byte) = locate(offset)?;
         let s = &self.banks[bank][byte..byte + 4];
         Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
     }
@@ -111,27 +144,9 @@ impl MemoryChiplet {
     ///
     /// Returns an error for misaligned or out-of-range offsets.
     pub fn write_word(&mut self, offset: u32, value: u32) -> Result<(), AccessMemoryError> {
-        let (bank, byte) = self.locate(offset)?;
+        let (bank, byte) = locate(offset)?;
         self.banks[bank][byte..byte + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
-    }
-
-    /// Maps an offset to `(bank, byte-within-bank)`.
-    fn locate(&self, offset: u32) -> Result<(usize, usize), AccessMemoryError> {
-        if !offset.is_multiple_of(4) {
-            return Err(AccessMemoryError::Misaligned { addr: offset });
-        }
-        let off = offset as usize;
-        if off + 4 <= GLOBAL_REGION_BYTES {
-            let word = off / 4;
-            let bank = word % GLOBAL_BANKS;
-            let byte = (word / GLOBAL_BANKS) * 4;
-            Ok((bank, byte))
-        } else if off >= GLOBAL_REGION_BYTES && off + 4 <= TOTAL_BYTES {
-            Ok((GLOBAL_BANKS, off - GLOBAL_REGION_BYTES))
-        } else {
-            Err(AccessMemoryError::OutOfRange { addr: offset })
-        }
     }
 }
 
@@ -185,6 +200,15 @@ mod tests {
         for w in 0..64u32 {
             assert_eq!(mem.read_word(w * 4).expect("read"), w);
         }
+    }
+
+    #[test]
+    fn bank_of_offset_matches_the_chiplet_mapping() {
+        let mem = MemoryChiplet::new();
+        for offset in (0..TOTAL_BYTES as u32 + 8).step_by(4) {
+            assert_eq!(bank_of_offset(offset), mem.bank_of(offset), "{offset:#x}");
+        }
+        assert_eq!(bank_of_offset(7), mem.bank_of(7));
     }
 
     #[test]

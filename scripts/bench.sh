@@ -5,6 +5,11 @@
 #   ./scripts/bench.sh           # full runs -> BENCH_*.json + TRACE_machine.json
 #   ./scripts/bench.sh --smoke   # seconds-scale reduced runs (the CI gate)
 #
+# Set WSP_THREADS=<n> to pin the simulation backend's worker count
+# (forwarded as --threads to every binary); the default is the host's
+# available parallelism. Results are bit-identical either way — the
+# knob only affects wall-clock and the speedup gauges.
+#
 # Artefacts land in the repo root:
 #   BENCH_noc.json       fig7_network  (NoC request/response metrics)
 #   BENCH_machine.json   workloads     (kernel + traced-stencil metrics)
@@ -26,6 +31,11 @@ for arg in "$@"; do
     esac
 done
 
+THREADS=()
+if [[ -n "${WSP_THREADS:-}" ]]; then
+    THREADS=(--threads "$WSP_THREADS")
+fi
+
 echo "==> cargo build --release -p wsp-bench"
 cargo build --release -p wsp-bench
 
@@ -36,9 +46,9 @@ run() {
     "target/release/$bin" "$@" >/dev/null
 }
 
-run fig7_network "${SMOKE[@]}" --json BENCH_noc.json
-run workloads "${SMOKE[@]}" --json BENCH_machine.json --trace TRACE_machine.json
-run fig2_droop "${SMOKE[@]}" --json BENCH_pdn.json
+run fig7_network "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_noc.json
+run workloads "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_machine.json --trace TRACE_machine.json
+run fig2_droop "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_pdn.json
 
 echo "==> validate_json"
 target/release/validate_json \

@@ -19,4 +19,19 @@ cargo test -q
 echo "==> bench smoke (BENCH_*.json present and well-formed)"
 ./scripts/bench.sh --smoke
 
+echo "==> determinism gate (fig7_network smoke JSON, 1 thread vs 8)"
+# The parallel backend must be bit-identical to sequential: the smoke
+# JSON (which carries only deterministic metrics, no wall-clock gauges)
+# has to match byte for byte across thread counts.
+DET_DIR="$(mktemp -d)"
+trap 'rm -rf "$DET_DIR"' EXIT
+target/release/fig7_network --smoke --threads 1 --json "$DET_DIR/t1.json" >/dev/null
+target/release/fig7_network --smoke --threads 8 --json "$DET_DIR/t8.json" >/dev/null
+if ! cmp -s "$DET_DIR/t1.json" "$DET_DIR/t8.json"; then
+    echo "FAIL: fig7_network smoke JSON differs between --threads 1 and --threads 8" >&2
+    diff "$DET_DIR/t1.json" "$DET_DIR/t8.json" >&2 || true
+    exit 1
+fi
+echo "    byte-identical across thread counts"
+
 echo "All checks passed."
