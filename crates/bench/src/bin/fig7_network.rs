@@ -6,12 +6,14 @@
 //! Run with `cargo run --release -p wsp-bench --bin fig7_network`.
 //! Accepts `--json <path>` (metrics report), `--seed <u64>` (fault /
 //! traffic RNG), `--threads <n>` (deterministic parallel backend — the
-//! results are bit-identical at any value), and `--smoke` (reduced
+//! results are bit-identical at any value), `--stepping <dense|sparse>`
+//! (tile-visit strategy — also bit-identical), and `--smoke` (reduced
 //! request counts).
 
 use std::time::Instant;
 
-use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
+use wsp_bench::{executor_code, header, metric_key, result_line, row, BenchOpts};
+use wsp_common::parallel::Stepping;
 use wsp_common::seeded_rng;
 use wsp_noc::{NocSim, RoutePlanner, SimConfig, TrafficPattern};
 use wsp_telemetry::{SharedRecorder, Sink};
@@ -48,6 +50,7 @@ fn main() {
     for (name, faults) in scenarios {
         let mut sim = NocSim::new(faults, SimConfig::default());
         sim.fabric_mut().set_threads(threads);
+        sim.fabric_mut().set_stepping(opts.stepping);
         let report = sim.run(TrafficPattern::UniformRandom, requests, &mut rng);
         let key = metric_key(name);
         sink.counter_add(
@@ -83,6 +86,7 @@ fn main() {
         "mean latency",
         "throughput pkt/cy",
         "backpressure",
+        "drained",
     ]);
     for (name, pattern) in [
         ("uniform random", TrafficPattern::UniformRandom),
@@ -97,7 +101,19 @@ fn main() {
     ] {
         let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
         sim.fabric_mut().set_threads(threads);
+        sim.fabric_mut().set_stepping(opts.stepping);
         let report = sim.run(pattern, requests, &mut rng);
+        // On a clean wafer every request must complete and drain before
+        // the scenario ends — a stuck packet here is a routing or
+        // scheduling bug, not a property of the pattern.
+        assert_eq!(
+            report.in_flight_at_end, 0,
+            "{name}: packets still in flight at scenario end"
+        );
+        assert_eq!(
+            report.responses_delivered, report.requests_injected,
+            "{name}: not every injected request completed"
+        );
         let key = metric_key(name);
         sink.gauge_set(
             &format!("noc.{key}.mean_request_cycles"),
@@ -129,6 +145,7 @@ fn main() {
             format!("{:.1}", report.mean_request_latency()),
             format!("{:.3}", report.throughput()),
             format!("{}", report.injection_backpressure),
+            "true".to_string(),
         ]);
     }
 
@@ -176,16 +193,17 @@ fn main() {
     );
     let wafer = TileArray::new(32, 32);
     let wafer_requests: u64 = if opts.smoke { 500 } else { 20_000 };
-    let run_wafer = |threads: usize| {
+    let run_wafer = |threads: usize, stepping: Stepping| {
         let mut rng = seeded_rng(seed + 9);
         let mut sim = NocSim::new(FaultMap::none(wafer), SimConfig::default());
         sim.fabric_mut().set_threads(threads);
+        sim.fabric_mut().set_stepping(stepping);
         let start = Instant::now();
         let report = sim.run(TrafficPattern::UniformRandom, wafer_requests, &mut rng);
-        (report, start.elapsed())
+        (report, start.elapsed(), sim.fabric().executor())
     };
-    let (seq_report, seq_wall) = run_wafer(1);
-    let (par_report, par_wall) = run_wafer(threads);
+    let (seq_report, seq_wall, _) = run_wafer(1, opts.stepping);
+    let (par_report, par_wall, par_executor) = run_wafer(threads, opts.stepping);
     assert_eq!(
         seq_report, par_report,
         "parallel fabric diverged from sequential on the full wafer"
@@ -234,6 +252,59 @@ fn main() {
             par_wall.as_secs_f64() * 1e3,
         );
         sink.gauge_set("noc.full_wafer.speedup", speedup);
+        sink.gauge_set("noc.full_wafer.executor_code", executor_code(par_executor));
+        result_line("full-wafer executor", par_executor, None);
+    }
+
+    header(
+        "Sparse stepping",
+        "active-set walk vs dense sweep, bit-identical by construction",
+    );
+    row(&["pattern", "dense ms", "sparse ms", "speedup", "identical"]);
+    for (name, pattern) in [
+        ("neighbour", TrafficPattern::NeighborEast),
+        (
+            "hot spot (8,8)",
+            TrafficPattern::HotSpot {
+                target: TileCoord::new(8, 8),
+            },
+        ),
+    ] {
+        let run_mode = |stepping: Stepping| {
+            let mut rng = seeded_rng(seed + 21);
+            let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
+            sim.fabric_mut().set_threads(threads);
+            sim.fabric_mut().set_stepping(stepping);
+            let start = Instant::now();
+            let report = sim.run(pattern, requests, &mut rng);
+            (report, start.elapsed())
+        };
+        let (dense_report, dense_wall) = run_mode(Stepping::Dense);
+        let (sparse_report, sparse_wall) = run_mode(Stepping::Sparse);
+        assert_eq!(
+            dense_report, sparse_report,
+            "{name}: sparse stepping diverged from the dense sweep"
+        );
+        let mode_speedup = dense_wall.as_secs_f64() / sparse_wall.as_secs_f64();
+        let key = metric_key(name);
+        if !opts.smoke {
+            sink.gauge_set(
+                &format!("noc.sparse.{key}.wall_ms_dense"),
+                dense_wall.as_secs_f64() * 1e3,
+            );
+            sink.gauge_set(
+                &format!("noc.sparse.{key}.wall_ms_sparse"),
+                sparse_wall.as_secs_f64() * 1e3,
+            );
+            sink.gauge_set(&format!("noc.sparse.{key}.speedup"), mode_speedup);
+        }
+        row(&[
+            name.to_string(),
+            format!("{:.1}", dense_wall.as_secs_f64() * 1e3),
+            format!("{:.1}", sparse_wall.as_secs_f64() * 1e3),
+            format!("{mode_speedup:.2}"),
+            "true".to_string(),
+        ]);
     }
 
     opts.write_outputs("fig7_network", &recorder);

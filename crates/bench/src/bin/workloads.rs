@@ -16,18 +16,19 @@
 use std::time::Instant;
 
 use waferscale::workload::{
-    reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph, GraphKind, StencilGrid,
+    build_halo_machine, reference_pagerank, run_bfs, run_pagerank, run_sssp, run_stencil, Graph,
+    GraphKind, StencilGrid,
 };
-use waferscale::{LatencyModel, MultiTileMachine, SystemConfig, WaferscaleSystem};
-use wsp_bench::{header, metric_key, result_line, row, BenchOpts};
+use waferscale::{SystemConfig, WaferscaleSystem};
+use wsp_bench::{executor_code, header, metric_key, result_line, row, BenchOpts};
 use wsp_clock::ClockSelector;
+use wsp_common::parallel::Stepping;
 use wsp_common::seeded_rng;
 use wsp_common::units::Amps;
 use wsp_dft::TestSchedule;
 use wsp_pdn::{LoadModel, PdnConfig};
 use wsp_telemetry::{SharedRecorder, Sink};
-use wsp_tile::isa::{Program, Reg};
-use wsp_topo::{Direction, FaultMap, TileArray, TileCoord};
+use wsp_topo::{Direction, FaultMap, TileArray};
 
 fn main() {
     let opts = BenchOpts::from_env();
@@ -259,9 +260,10 @@ fn main() {
     );
 
     if !opts.smoke {
-        full_wafer_machine_bench(&mut sink, threads);
+        full_wafer_machine_bench(&mut sink, threads, opts.stepping);
+        sparse_vs_dense_machine_bench(&mut sink, threads);
     }
-    traced_stencil_run(&recorder, threads);
+    traced_stencil_run(&recorder, threads, opts.stepping);
     opts.write_outputs("workloads", &recorder);
     if sampling_failures > 0 {
         eprintln!(
@@ -272,81 +274,60 @@ fn main() {
     }
 }
 
-/// Builds an `n`×`n` fabric-model machine with every tile's first two
-/// cores running the halo-exchange read loop against their east
-/// neighbour — the kernel shape of the traced stencil showcase, reused
-/// at full-wafer scale for the parallel-backend measurement.
-fn build_halo_machine(n: u16, threads: usize) -> MultiTileMachine {
-    const HALO_WORDS: u32 = 8;
-    let array = TileArray::new(n, n);
-    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
-    let mut m = MultiTileMachine::new(cfg, FaultMap::none(array));
-    m.set_threads(threads);
-    for y in 0..n {
-        for x in 0..n {
-            let east = TileCoord::new((x + 1) % n, y);
-            for core in 0..2u32 {
-                let base = m.global_address(east, core * 64).expect("mapped");
-                let program = Program::builder()
-                    .ldi(Reg::R1, base)
-                    .ldi(Reg::R5, 0)
-                    .ldi(Reg::R3, HALO_WORDS)
-                    .ldi(Reg::R0, 0)
-                    .label("halo")
-                    .ld(Reg::R2, Reg::R1, 0)
-                    .add(Reg::R5, Reg::R5, Reg::R2)
-                    .addi(Reg::R1, Reg::R1, 4)
-                    .addi(Reg::R3, Reg::R3, -1)
-                    .bne(Reg::R3, Reg::R0, "halo")
-                    .halt()
-                    .build()
-                    .expect("builds");
-                m.load_program(TileCoord::new(x, y), core as usize, &program)
-                    .expect("loads");
-            }
-        }
-    }
-    m
-}
-
 /// The machine-layer speedup measurement: a full-wafer 32×32
 /// fabric-model machine runs the halo-exchange kernel at one thread and
 /// at `threads`, asserting the results are bit-identical and recording
-/// both wall-clocks. Skipped in smoke mode (wall-clock gauges would
-/// break the byte-identical-JSON determinism gate).
-fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize) {
+/// both wall-clocks. At `threads == 1` the "parallel" run *is* the
+/// sequential run — no worker pool is built and no duplicate heavy run
+/// happens, so the reported speedup is 1.00 by definition (the old
+/// duplicate run measured pool overhead against itself and reported a
+/// bogus 0.59x). Skipped in smoke mode (wall-clock gauges would break
+/// the byte-identical-JSON determinism gate).
+fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize, stepping: Stepping) {
     header(
         "Parallel backend",
         "full-wafer 32x32 machine halo exchange, 1 thread vs N",
     );
     let run = |threads: usize| {
         let mut m = build_halo_machine(32, threads);
+        m.set_stepping(stepping);
         let start = Instant::now();
         let stats = m.run_until_halt(1_000_000).expect("halts");
-        (stats, start.elapsed())
+        (stats, start.elapsed(), m.executor())
     };
-    let (seq_stats, seq_wall) = run(1);
-    let (par_stats, par_wall) = run(threads);
-    assert_eq!(
-        seq_stats, par_stats,
-        "parallel machine diverged from sequential on the full wafer"
-    );
-    let speedup = seq_wall.as_secs_f64() / par_wall.as_secs_f64();
-    row(&["threads", "wall ms", "speedup"]);
+    let (seq_stats, seq_wall, seq_executor) = run(1);
+    let (par_wall, par_executor) = if threads > 1 {
+        let (par_stats, par_wall, par_executor) = run(threads);
+        assert_eq!(
+            seq_stats, par_stats,
+            "parallel machine diverged from sequential on the full wafer"
+        );
+        (par_wall, par_executor)
+    } else {
+        (seq_wall, seq_executor)
+    };
+    let speedup = if threads > 1 {
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+    } else {
+        1.0
+    };
+    row(&["threads", "wall ms", "speedup", "executor"]);
     row(&[
         "1".to_string(),
         format!("{:.1}", seq_wall.as_secs_f64() * 1e3),
         "1.00".to_string(),
+        seq_executor.to_string(),
     ]);
     row(&[
         format!("{threads}"),
         format!("{:.1}", par_wall.as_secs_f64() * 1e3),
         format!("{speedup:.2}"),
+        par_executor.to_string(),
     ]);
-    sink.gauge_set("machine.full_wafer.cycles", par_stats.cycles as f64);
+    sink.gauge_set("machine.full_wafer.cycles", seq_stats.cycles as f64);
     sink.gauge_set(
         "machine.full_wafer.remote_accesses",
-        par_stats.remote_accesses as f64,
+        seq_stats.remote_accesses as f64,
     );
     sink.gauge_set("machine.full_wafer.threads", threads as f64);
     sink.gauge_set(
@@ -358,11 +339,87 @@ fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize) {
         par_wall.as_secs_f64() * 1e3,
     );
     sink.gauge_set("machine.full_wafer.speedup", speedup);
+    sink.gauge_set(
+        "machine.full_wafer.executor_code",
+        executor_code(par_executor),
+    );
     result_line(
         "full-wafer machine",
         format!(
-            "{} cycles, bit-identical at 1 and {threads} thread(s), speedup {speedup:.2}x",
-            par_stats.cycles
+            "{} cycles, bit-identical at 1 and {threads} thread(s), speedup {speedup:.2}x ({par_executor})",
+            seq_stats.cycles
+        ),
+        None,
+    );
+}
+
+/// The stepping-mode measurement: the same halo-exchange machine at
+/// 16×16 run under the dense sweep and the active-set walk, asserting
+/// stats, per-core activity, and the runnable-tiles sample all match bit
+/// for bit, and recording both wall-clocks. Skipped in smoke mode (the
+/// determinism gate byte-compares the smoke JSON across modes).
+fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
+    header(
+        "Sparse stepping",
+        "16x16 machine halo exchange, dense sweep vs active-set walk",
+    );
+    let run = |stepping: Stepping| {
+        let mut m = build_halo_machine(16, threads);
+        m.set_stepping(stepping);
+        let start = Instant::now();
+        let stats = m.run_until_halt(1_000_000).expect("halts");
+        let wall = start.elapsed();
+        (
+            stats,
+            wall,
+            m.per_tile_activity(),
+            m.runnable_tiles().clone(),
+        )
+    };
+    let (dense_stats, dense_wall, dense_activity, dense_hist) = run(Stepping::Dense);
+    let (sparse_stats, sparse_wall, sparse_activity, sparse_hist) = run(Stepping::Sparse);
+    assert_eq!(
+        dense_stats, sparse_stats,
+        "sparse stepping diverged from the dense sweep"
+    );
+    assert_eq!(
+        dense_activity, sparse_activity,
+        "per-core activity diverged between stepping modes"
+    );
+    assert_eq!(
+        dense_hist, sparse_hist,
+        "runnable-tile samples diverged between stepping modes"
+    );
+    let speedup = dense_wall.as_secs_f64() / sparse_wall.as_secs_f64();
+    row(&["stepping", "wall ms", "speedup", "identical"]);
+    row(&[
+        "dense".to_string(),
+        format!("{:.1}", dense_wall.as_secs_f64() * 1e3),
+        "1.00".to_string(),
+        "-".to_string(),
+    ]);
+    row(&[
+        "sparse".to_string(),
+        format!("{:.1}", sparse_wall.as_secs_f64() * 1e3),
+        format!("{speedup:.2}"),
+        "true".to_string(),
+    ]);
+    sink.gauge_set(
+        "machine.sparse.halo.wall_ms_dense",
+        dense_wall.as_secs_f64() * 1e3,
+    );
+    sink.gauge_set(
+        "machine.sparse.halo.wall_ms_sparse",
+        sparse_wall.as_secs_f64() * 1e3,
+    );
+    sink.gauge_set("machine.sparse.halo.speedup", speedup);
+    sink.gauge_set("machine.sparse.halo.runnable_mean", sparse_hist.mean());
+    result_line(
+        "mean runnable tiles per cycle",
+        format!(
+            "{:.1} of {} (the sparse walk only visits those)",
+            sparse_hist.mean(),
+            16 * 16
         ),
         None,
     );
@@ -374,7 +431,7 @@ fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize) {
 /// and a DfT program load are traced alongside it, and the machine's
 /// per-tile activity drives a traced PDN solve — one timeline covering
 /// five subsystems.
-fn traced_stencil_run(recorder: &SharedRecorder, threads: usize) {
+fn traced_stencil_run(recorder: &SharedRecorder, threads: usize, stepping: Stepping) {
     const N: u16 = 4;
     let mut sink = recorder.clone();
 
@@ -405,6 +462,7 @@ fn traced_stencil_run(recorder: &SharedRecorder, threads: usize) {
 
     // The halo-exchange machine, fully instrumented.
     let mut m = build_halo_machine(N, threads);
+    m.set_stepping(stepping);
     m.set_sink(recorder.boxed());
     m.fabric_mut().set_sink(recorder.boxed());
     let stats = m.run_until_halt(1_000_000).expect("halts");

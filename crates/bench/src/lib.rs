@@ -8,6 +8,7 @@
 use std::fmt::Display;
 use std::path::{Path, PathBuf};
 
+use wsp_common::parallel::Stepping;
 use wsp_telemetry::SharedRecorder;
 
 /// Common CLI options of the regenerator binaries.
@@ -23,6 +24,9 @@ use wsp_telemetry::SharedRecorder;
 /// - `--threads <n>` — worker threads for the deterministic parallel
 ///   backend (default: the machine's available parallelism; results are
 ///   bit-identical at any value);
+/// - `--stepping <dense|sparse>` — tile-visit strategy for the
+///   cycle-level engines (default: `sparse`; results are bit-identical
+///   in either mode);
 /// - `--smoke` — shrink the workload to a seconds-scale smoke run.
 ///
 /// # Examples
@@ -50,6 +54,8 @@ pub struct BenchOpts {
     pub seed: Option<u64>,
     /// Worker-thread override for the deterministic parallel backend.
     pub threads: Option<usize>,
+    /// Tile-visit strategy for the cycle-level engines.
+    pub stepping: Stepping,
     /// Whether to run the reduced smoke workload.
     pub smoke: bool,
 }
@@ -62,7 +68,8 @@ impl BenchOpts {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] [--smoke]"
+                    "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] \
+                     [--stepping <dense|sparse>] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -103,6 +110,11 @@ impl BenchOpts {
                         .filter(|&t| t > 0)
                         .ok_or_else(|| format!("invalid thread count {raw:?}"))?;
                     opts.threads = Some(threads);
+                }
+                "--stepping" => {
+                    let raw = args.next().ok_or("--stepping requires a value")?;
+                    opts.stepping = Stepping::parse(&raw)
+                        .ok_or_else(|| format!("invalid stepping {raw:?} (dense|sparse)"))?;
                 }
                 "--smoke" => opts.smoke = true,
                 other => return Err(format!("unknown argument {other:?}")),
@@ -146,6 +158,20 @@ impl BenchOpts {
 fn write_file(path: &Path, contents: &str) {
     std::fs::write(path, contents)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+}
+
+/// Encodes an executor label (as reported by the fabric's or machine's
+/// `executor()`) as a stable numeric gauge value, since telemetry gauges
+/// are `f64`-valued: `sequential` → 0, `banded` → 1, `sparse` → 2.
+/// Unknown labels map to -1 so a renamed path shows up in reports
+/// instead of silently aliasing a real one.
+pub fn executor_code(label: &str) -> f64 {
+    match label {
+        "sequential" => 0.0,
+        "banded" => 1.0,
+        "sparse" => 2.0,
+        _ => -1.0,
+    }
 }
 
 /// Turns a human-readable label into a metric-name segment: lowercase,
@@ -217,6 +243,8 @@ mod tests {
             "9",
             "--threads",
             "4",
+            "--stepping",
+            "dense",
             "--smoke",
         ])
         .expect("valid");
@@ -225,9 +253,12 @@ mod tests {
         assert_eq!(opts.seed, Some(9));
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.threads_or_available(), 4);
+        assert_eq!(opts.stepping, Stepping::Dense);
         assert!(opts.smoke);
         assert_eq!(opts.seed_or(7), 9);
-        assert_eq!(parse(&[]).expect("empty ok").seed_or(7), 7);
+        let empty = parse(&[]).expect("empty ok");
+        assert_eq!(empty.seed_or(7), 7);
+        assert_eq!(empty.stepping, Stepping::Sparse);
     }
 
     #[test]
@@ -244,7 +275,17 @@ mod tests {
         assert!(parse(&["--threads"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "nope"]).is_err());
+        assert!(parse(&["--stepping"]).is_err());
+        assert!(parse(&["--stepping", "eager"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn executor_codes_are_stable_and_distinct() {
+        assert_eq!(executor_code("sequential"), 0.0);
+        assert_eq!(executor_code("banded"), 1.0);
+        assert_eq!(executor_code("sparse"), 2.0);
+        assert_eq!(executor_code("mystery"), -1.0);
     }
 
     #[test]
@@ -268,6 +309,7 @@ mod tests {
             trace: Some(dir.join("t.json")),
             seed: None,
             threads: None,
+            stepping: Stepping::default(),
             smoke: false,
         };
         opts.write_outputs("unit", &recorder);

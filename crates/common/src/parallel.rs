@@ -220,6 +220,132 @@ impl WorkerPool {
     }
 }
 
+/// How a simulator visits its per-cycle work.
+///
+/// `Sparse` is the default: the active-set schedulers in `wsp-noc` and
+/// `wsp-core` are bit-identical to the dense sweep by construction (see
+/// DESIGN.md "Active-set scheduling"), so dense mode exists as the
+/// reference the equivalence tests and the CI byte-compare gate run
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stepping {
+    /// Visit every tile every cycle — the reference sweep.
+    Dense,
+    /// Visit only tiles the activity tracker says can make progress.
+    #[default]
+    Sparse,
+}
+
+impl Stepping {
+    /// Parses a CLI value (`"dense"` / `"sparse"`).
+    pub fn parse(raw: &str) -> Option<Stepping> {
+        match raw {
+            "dense" => Some(Stepping::Dense),
+            "sparse" => Some(Stepping::Sparse),
+            _ => None,
+        }
+    }
+}
+
+/// Minimum active items per shard before banding pays for itself.
+///
+/// Below this, the plan/apply split plus the pool barrier cost more than
+/// the work they distribute, so [`AdaptiveExecutor::shards_for`] collapses
+/// to a single inline shard.
+pub const MIN_ACTIVE_PER_SHARD: usize = 64;
+
+/// A [`WorkerPool`] wrapper that falls back to inline sequential
+/// execution when the work is too small to amortise the pool barrier.
+///
+/// `threads <= 1` holds no pool at all (satisfying the "never construct a
+/// `WorkerPool` when threads == 1" rule), and `shards_for` returns 1
+/// whenever the active set is under [`MIN_ACTIVE_PER_SHARD`] per thread —
+/// so a mostly idle simulator pays neither thread wake-ups nor per-shard
+/// bookkeeping, while a busy one still bands out.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_common::parallel::{AdaptiveExecutor, MIN_ACTIVE_PER_SHARD};
+///
+/// let exec = AdaptiveExecutor::new(4);
+/// assert_eq!(exec.threads(), 4);
+/// assert_eq!(exec.shards_for(10), 1, "tiny active set runs inline");
+/// assert_eq!(exec.shards_for(MIN_ACTIVE_PER_SHARD * 4), 4);
+///
+/// let inline = AdaptiveExecutor::new(1);
+/// assert!(inline.pool().is_none(), "no pool at one thread");
+/// ```
+#[derive(Clone, Default)]
+pub struct AdaptiveExecutor {
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl AdaptiveExecutor {
+    /// An executor for `threads` workers; `threads <= 1` builds no pool.
+    pub fn new(threads: usize) -> Self {
+        AdaptiveExecutor {
+            pool: (threads > 1).then(|| Arc::new(WorkerPool::new(threads))),
+        }
+    }
+
+    /// Wraps an existing (possibly shared) pool; inline pools are treated
+    /// as absent.
+    pub fn from_pool(pool: Option<Arc<WorkerPool>>) -> Self {
+        AdaptiveExecutor {
+            pool: pool.filter(|p| p.threads() > 1),
+        }
+    }
+
+    /// The shared pool handle, if any — for wiring one pool through
+    /// several subsystems (a machine and its fabric).
+    pub fn pool(&self) -> Option<Arc<WorkerPool>> {
+        self.pool.clone()
+    }
+
+    /// Shards each epoch runs when banded (1 when inline).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.threads())
+    }
+
+    /// How many shards to carve for `active_items` pieces of live work:
+    /// either 1 (inline) or `threads()` (banded), never in between, so
+    /// the result is always a valid [`WorkerPool::map`] input length.
+    pub fn shards_for(&self, active_items: usize) -> usize {
+        match &self.pool {
+            Some(pool) if active_items >= MIN_ACTIVE_PER_SHARD * pool.threads() => pool.threads(),
+            _ => 1,
+        }
+    }
+
+    /// Moves one value per shard through `f`, in shard order: on the pool
+    /// when `inputs` fills every shard, inline otherwise.
+    pub fn map<T, R>(&self, inputs: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        match &self.pool {
+            Some(pool) if inputs.len() == pool.threads() && pool.threads() > 1 => {
+                pool.map(inputs, f)
+            }
+            _ => inputs
+                .into_iter()
+                .enumerate()
+                .map(|(shard, input)| f(shard, input))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for AdaptiveExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveExecutor")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
@@ -337,6 +463,59 @@ mod tests {
             let total: u64 = partial.iter().map(|m| *m.lock().unwrap()).sum();
             assert_eq!(total, expected);
         }
+    }
+
+    #[test]
+    fn stepping_parses_and_defaults_to_sparse() {
+        assert_eq!(Stepping::parse("dense"), Some(Stepping::Dense));
+        assert_eq!(Stepping::parse("sparse"), Some(Stepping::Sparse));
+        assert_eq!(Stepping::parse("turbo"), None);
+        assert_eq!(Stepping::default(), Stepping::Sparse);
+    }
+
+    #[test]
+    fn adaptive_executor_collapses_small_active_sets() {
+        let exec = AdaptiveExecutor::new(4);
+        assert_eq!(exec.threads(), 4);
+        assert_eq!(exec.shards_for(0), 1);
+        assert_eq!(exec.shards_for(MIN_ACTIVE_PER_SHARD * 4 - 1), 1);
+        assert_eq!(exec.shards_for(MIN_ACTIVE_PER_SHARD * 4), 4);
+
+        let inline = AdaptiveExecutor::new(1);
+        assert!(inline.pool().is_none());
+        assert_eq!(inline.threads(), 1);
+        assert_eq!(inline.shards_for(usize::MAX), 1);
+    }
+
+    #[test]
+    fn adaptive_map_matches_pool_map_and_runs_inline() {
+        let exec = AdaptiveExecutor::new(3);
+        // Full-width input: banded on the pool.
+        assert_eq!(
+            exec.map(vec![10u64, 20, 30], |shard, x| x + shard as u64),
+            vec![10, 21, 32]
+        );
+        // Single input: inline, shard index 0.
+        assert_eq!(exec.map(vec![5u64], |shard, x| x + shard as u64), vec![5]);
+        // No pool: always inline, any length.
+        let inline = AdaptiveExecutor::new(1);
+        assert_eq!(
+            inline.map(vec![1u64, 2, 3], |shard, x| x * 10 + shard as u64),
+            vec![10, 21, 32]
+        );
+    }
+
+    #[test]
+    fn adaptive_from_pool_filters_inline_pools() {
+        let shared = Arc::new(WorkerPool::new(2));
+        let exec = AdaptiveExecutor::from_pool(Some(Arc::clone(&shared)));
+        assert_eq!(exec.threads(), 2);
+        assert!(
+            AdaptiveExecutor::from_pool(Some(Arc::new(WorkerPool::new(1))))
+                .pool()
+                .is_none()
+        );
+        assert!(AdaptiveExecutor::from_pool(None).pool().is_none());
     }
 
     #[test]

@@ -27,11 +27,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::ops::Range;
-use std::sync::Arc;
 
-use wsp_common::parallel::{band_ranges, WorkerPool};
+use wsp_common::parallel::{band_ranges, AdaptiveExecutor, Stepping};
 use wsp_noc::{Fabric, FabricPacket, NetworkChoice, PacketKind, RoutePlanner};
-use wsp_telemetry::{BufferedSink, NoopSink, Sink};
+use wsp_telemetry::{BufferedSink, Histogram, NoopSink, Sink};
 use wsp_tile::{
     memory::{bank_of_offset, GLOBAL_REGION_BYTES},
     AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState, Crossbar, MemoryChiplet,
@@ -162,9 +161,36 @@ pub struct MultiTileMachine {
     network_stall_cycles: u64,
     remote_latency_total: u64,
     bank_conflicts: u64,
-    /// Worker pool for the fabric-model tile-step phase, shared with the
-    /// fabric's plan phase. `None` steps inline on the caller.
-    pool: Option<Arc<WorkerPool>>,
+    /// How the tile-step phase visits tiles: sparse active-set walk
+    /// (default) or the dense reference sweep. Bit-identical either way.
+    stepping: Stepping,
+    /// Adaptive executor for the fabric-model tile-step phase, sharing
+    /// its pool with the fabric's plan phase. Falls back to inline
+    /// stepping when the runnable set is small or `threads <= 1`.
+    exec: AdaptiveExecutor,
+    /// Per-tile count of cores currently in [`CoreState::Running`].
+    live_cores: Vec<u32>,
+    /// Per-tile count of running cores blocked on an in-flight remote op
+    /// (fabric model). A tile with `live == blocked` cannot retire, issue,
+    /// or touch memory this cycle, so the sparse scheduler skips it.
+    blocked_cores: Vec<u32>,
+    /// Cycle each tile last executed its fabric-model step phase; the
+    /// sparse scheduler replays `now - last - 1` stall cycles on wake.
+    last_stepped: Vec<u64>,
+    /// Cycle each tile's crossbar last ran `begin_cycle` (fabric model);
+    /// lets [`MultiTileMachine::try_service_request`] lazily reset the
+    /// crossbar of a tile the step phase skipped.
+    xbar_cycle: Vec<u64>,
+    /// Running cores across the machine — the O(1) `run_until_halt` test.
+    running_cores: usize,
+    /// Set when [`MultiTileMachine::core_mut`] hands out direct core
+    /// access; liveness counters are recomputed on the next step.
+    liveness_dirty: bool,
+    /// Per-cycle runnable-tile counts, sampled in both stepping modes so
+    /// the exported telemetry is independent of mode and thread count.
+    runnable_tiles: Histogram,
+    /// Reusable per-cycle runnable-tile scratch buffer.
+    runnable_buf: Vec<bool>,
     /// Telemetry sink; [`NoopSink`] by default. Remote completions record
     /// a latency histogram sample, bank denials bump a counter, and
     /// [`MultiTileMachine::run_until_halt`] emits a `machine` run span.
@@ -205,7 +231,16 @@ impl MultiTileMachine {
             network_stall_cycles: 0,
             remote_latency_total: 0,
             bank_conflicts: 0,
-            pool: None,
+            stepping: Stepping::default(),
+            exec: AdaptiveExecutor::default(),
+            live_cores: vec![0; tiles],
+            blocked_cores: vec![0; tiles],
+            last_stepped: vec![0; tiles],
+            xbar_cycle: vec![0; tiles],
+            running_cores: 0,
+            liveness_dirty: false,
+            runnable_tiles: Histogram::new(),
+            runnable_buf: Vec::with_capacity(tiles),
             sink: Box::new(NoopSink),
         }
     }
@@ -217,13 +252,42 @@ impl MultiTileMachine {
     /// The analytic latency model performs cross-tile accesses
     /// synchronously and always steps sequentially.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
-        self.fabric.set_pool(self.pool.clone());
+        self.exec = AdaptiveExecutor::new(threads);
+        self.fabric.set_pool(self.exec.pool());
     }
 
     /// Shards used by the tile-step phase.
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, |p| p.threads())
+        self.exec.threads()
+    }
+
+    /// Selects how the machine (and its fabric) visit tiles each cycle
+    /// (default: [`Stepping::Sparse`]). Results are bit-identical in
+    /// either mode.
+    pub fn set_stepping(&mut self, stepping: Stepping) {
+        self.stepping = stepping;
+        self.fabric.set_stepping(stepping);
+    }
+
+    /// The current stepping mode.
+    pub fn stepping(&self) -> Stepping {
+        self.stepping
+    }
+
+    /// The execution path the tile-step phase currently takes, for bench
+    /// reporting: `"sparse"`, `"banded"`, or `"sequential"`.
+    pub fn executor(&self) -> &'static str {
+        match (self.stepping, self.threads()) {
+            (Stepping::Sparse, _) => "sparse",
+            (Stepping::Dense, t) if t > 1 => "banded",
+            (Stepping::Dense, _) => "sequential",
+        }
+    }
+
+    /// Per-cycle runnable-tile counts sampled so far — a pure function of
+    /// core/pending state, identical in either stepping mode.
+    pub fn runnable_tiles(&self) -> &Histogram {
+        &self.runnable_tiles
     }
 
     /// Installs a telemetry sink for machine-level events (remote-latency
@@ -279,7 +343,12 @@ impl MultiTileMachine {
         let slot = self.cores[idx]
             .get_mut(core)
             .ok_or(LoadMachineError::NoSuchCore { tile, core })?;
+        let was_running = slot.state() == CoreState::Running;
         slot.load_program(program);
+        if !was_running && slot.state() == CoreState::Running {
+            self.live_cores[idx] += 1;
+            self.running_cores += 1;
+        }
         Ok(())
     }
 
@@ -290,6 +359,9 @@ impl MultiTileMachine {
     /// Panics for out-of-range tiles or cores.
     pub fn core_mut(&mut self, tile: TileCoord, core: usize) -> &mut CoreSim {
         let idx = self.faults.array().index_of(tile);
+        // The caller may flip core state directly; recount liveness before
+        // the next step so the sparse scheduler never skips a woken tile.
+        self.liveness_dirty = true;
         &mut self.cores[idx][core]
     }
 
@@ -338,6 +410,25 @@ impl MultiTileMachine {
             .any(|c| c.state() == CoreState::Running)
     }
 
+    /// Recomputes the per-tile liveness counters from scratch after a
+    /// caller mutated cores through [`MultiTileMachine::core_mut`].
+    fn refresh_liveness(&mut self) {
+        self.running_cores = 0;
+        for (t, tile_cores) in self.cores.iter().enumerate() {
+            let live = tile_cores
+                .iter()
+                .filter(|c| c.state() == CoreState::Running)
+                .count() as u32;
+            self.live_cores[t] = live;
+            self.running_cores += live as usize;
+            self.blocked_cores[t] = self.pending[t]
+                .iter()
+                .filter(|p| matches!(p, Some(PendingAccess::InFlight { .. })))
+                .count() as u32;
+        }
+        self.liveness_dirty = false;
+    }
+
     /// Advances every tile one cycle.
     ///
     /// # Errors
@@ -348,15 +439,21 @@ impl MultiTileMachine {
     /// sequential run — the error returned is the same, and a faulted run
     /// is aborted anyway.)
     pub fn step(&mut self) -> Result<(), RunMachineError> {
-        self.cycles += 1;
-        match self.config.latency_model() {
-            LatencyModel::Analytic => self.step_tiles_analytic()?,
-            LatencyModel::Fabric => {
-                self.step_tiles_fabric()?;
-                self.advance_fabric();
-            }
+        if self.liveness_dirty {
+            self.refresh_liveness();
         }
-        Ok(())
+        self.cycles += 1;
+        let result = match self.config.latency_model() {
+            LatencyModel::Analytic => self.step_tiles_analytic(),
+            LatencyModel::Fabric => self.step_tiles_fabric().map(|()| self.advance_fabric()),
+        };
+        if result.is_err() {
+            // A core fault stops its band mid-sweep; recount liveness
+            // before any further stepping instead of patching the
+            // partially updated counters.
+            self.liveness_dirty = true;
+        }
+        result
     }
 
     /// One cycle of the analytic model: always sequential, because an
@@ -367,6 +464,14 @@ impl MultiTileMachine {
         for xbar in &mut self.crossbars {
             xbar.begin_cycle();
         }
+        let sparse = self.stepping == Stepping::Sparse;
+        let runnable_now = self
+            .live_cores
+            .iter()
+            .zip(&self.blocked_cores)
+            .filter(|&(&l, &b)| l > b)
+            .count() as u64;
+        self.runnable_tiles.record(runnable_now);
         let n = self.config.cores_per_tile();
         let rotate = (self.cycles % n as u64) as usize;
         for tile_idx in 0..array.tile_count() {
@@ -374,14 +479,28 @@ impl MultiTileMachine {
             if self.faults.is_faulty(tile) {
                 continue;
             }
+            // Analytic accesses never arm `InFlight` (a tile with zero
+            // running cores does nothing in the dense sweep), so only
+            // fully halted tiles may be skipped.
+            if sparse && self.live_cores[tile_idx] == 0 {
+                continue;
+            }
             for i in 0..n {
                 let core_idx = (i + rotate) % n;
+                let was_running = self.cores[tile_idx][core_idx].state() == CoreState::Running;
+                if sparse && !was_running {
+                    continue;
+                }
                 let outcome = self.step_core_analytic(tile_idx, core_idx);
                 outcome.map_err(|source| RunMachineError::CoreFault {
                     tile,
                     core: core_idx,
                     source,
                 })?;
+                if was_running && self.cores[tile_idx][core_idx].state() != CoreState::Running {
+                    self.live_cores[tile_idx] -= 1;
+                    self.running_cores -= 1;
+                }
             }
         }
         Ok(())
@@ -405,11 +524,26 @@ impl MultiTileMachine {
         let rotate = (self.cycles % cores_per_tile as u64) as usize;
         let cycles = self.cycles;
         let telemetry_on = self.sink.enabled();
+        let sparse = self.stepping == Stepping::Sparse;
 
-        let bands = match &self.pool {
-            None => band_ranges(tiles, 1),
-            Some(pool) => band_ranges(tiles, pool.threads()),
+        // Active-set pre-scan, in both stepping modes: the telemetry
+        // sample and the shard-count decision are pure functions of
+        // liveness state, so they never depend on mode or thread count.
+        let mut runnable_vec = std::mem::take(&mut self.runnable_buf);
+        runnable_vec.clear();
+        let mut active = 0usize;
+        for t in 0..tiles {
+            let r = self.live_cores[t] > self.blocked_cores[t];
+            runnable_vec.push(r);
+            active += usize::from(r);
+        }
+        self.runnable_tiles.record(active as u64);
+
+        let shard_count = match self.stepping {
+            Stepping::Dense => self.exec.threads(),
+            Stepping::Sparse => self.exec.shards_for(active),
         };
+        let bands = band_ranges(tiles, shard_count);
 
         let outs: Vec<ShardOut> = {
             let MultiTileMachine {
@@ -419,9 +553,13 @@ impl MultiTileMachine {
                 memories,
                 crossbars,
                 pending,
-                pool,
+                live_cores,
+                last_stepped,
+                xbar_cycle,
+                exec,
                 ..
             } = self;
+            let runnable: &[bool] = &runnable_vec;
             let mut shards = Vec::with_capacity(bands.len());
             {
                 let mut rest = (
@@ -429,6 +567,9 @@ impl MultiTileMachine {
                     memories.as_mut_slice(),
                     crossbars.as_mut_slice(),
                     pending.as_mut_slice(),
+                    live_cores.as_mut_slice(),
+                    last_stepped.as_mut_slice(),
+                    xbar_cycle.as_mut_slice(),
                 );
                 let mut offset = 0;
                 for band in &bands {
@@ -437,7 +578,10 @@ impl MultiTileMachine {
                     let (m, mt) = rest.1.split_at_mut(take);
                     let (x, xt) = rest.2.split_at_mut(take);
                     let (p, pt) = rest.3.split_at_mut(take);
-                    rest = (ct, mt, xt, pt);
+                    let (l, lt) = rest.4.split_at_mut(take);
+                    let (s, st) = rest.5.split_at_mut(take);
+                    let (xc, xct) = rest.6.split_at_mut(take);
+                    rest = (ct, mt, xt, pt, lt, st, xct);
                     offset = band.end;
                     shards.push(FabricShard {
                         band: band.clone(),
@@ -445,6 +589,9 @@ impl MultiTileMachine {
                         memories: m,
                         crossbars: x,
                         pending: p,
+                        live: l,
+                        last_stepped: s,
+                        xbar_cycle: xc,
                     });
                 }
             }
@@ -458,18 +605,20 @@ impl MultiTileMachine {
                     rotate,
                     cores_per_tile,
                     cycles,
+                    sparse,
+                    runnable,
                     &mut out,
                 );
                 out
             };
-            match pool {
-                None => {
-                    let shard = shards.pop().expect("one band without a pool");
-                    vec![step_shard(shard)]
-                }
-                Some(pool) => pool.map(shards, |_, shard| step_shard(shard)),
+            if shards.len() == 1 {
+                let shard = shards.pop().expect("one band");
+                vec![step_shard(shard)]
+            } else {
+                exec.map(shards, |_, shard| step_shard(shard))
             }
         };
+        self.runnable_buf = runnable_vec;
 
         // Sequential commit, in band order.
         let mut first_error: Option<RunMachineError> = None;
@@ -479,6 +628,7 @@ impl MultiTileMachine {
             self.network_stall_cycles += out.network_stall_cycles;
             self.remote_latency_total += out.remote_latency_total;
             self.bank_conflicts += out.bank_conflicts;
+            self.running_cores -= out.halted_cores as usize;
             out.telemetry.replay(self.sink.as_mut());
             for intent in out.intents {
                 let id = self.fabric.allocate_id();
@@ -504,6 +654,7 @@ impl MultiTileMachine {
                             addr: intent.addr,
                             issued_at: cycles,
                         });
+                    self.blocked_cores[intent.tile_idx] += 1;
                 }
                 // On injection backpressure the id is burned (ids count
                 // attempts, as in the traffic layer) and the core
@@ -544,6 +695,14 @@ impl MultiTileMachine {
     /// crossbar denied the port (retry next cycle).
     fn try_service_request(&mut self, packet: &FabricPacket) -> bool {
         let owner_idx = self.faults.array().index_of(packet.dst);
+        // The sparse scheduler may have skipped the owner tile's step
+        // phase this cycle; reset its crossbar lazily so the request
+        // arbitrates against a fresh set of ports. (In the dense sweep
+        // every healthy tile already stamped this cycle, so this no-ops.)
+        if self.xbar_cycle[owner_idx] != self.cycles {
+            self.crossbars[owner_idx].begin_cycle();
+            self.xbar_cycle[owner_idx] = self.cycles;
+        }
         let op = self.in_flight[&packet.id];
         let offset = (op.addr() - GLOBAL_BASE) % GLOBAL_REGION_BYTES as u32;
         // The issuing closure validated range and alignment before the
@@ -599,6 +758,9 @@ impl MultiTileMachine {
                 issued_at,
                 value: op.result.unwrap_or(0),
             });
+            // The core can make progress again: its tile re-enters the
+            // sparse scheduler's runnable set next cycle.
+            self.blocked_cores[op.tile_idx] -= 1;
         }
     }
 
@@ -750,7 +912,10 @@ impl MultiTileMachine {
     /// first core fault.
     pub fn run_until_halt(&mut self, max_cycles: u64) -> Result<MachineStats, RunMachineError> {
         let start = self.cycles;
-        while self.any_running() {
+        if self.liveness_dirty {
+            self.refresh_liveness();
+        }
+        while self.running_cores > 0 {
             if self.cycles - start >= max_cycles {
                 return Err(RunMachineError::CycleLimit { max_cycles });
             }
@@ -817,6 +982,14 @@ impl MultiTileMachine {
         let stalls: Vec<f64> = activity.iter().map(|&(_, s)| s as f64).collect();
         sink.series_set("machine.tile_retired", &retired);
         sink.series_set("machine.tile_stall_cycles", &stalls);
+        if self.runnable_tiles.count() > 0 {
+            sink.gauge_set("machine.runnable_tiles_mean", self.runnable_tiles.mean());
+            sink.gauge_set(
+                "machine.runnable_tiles_peak",
+                self.runnable_tiles.max() as f64,
+            );
+            sink.histogram_merge("machine.runnable_tiles", &self.runnable_tiles);
+        }
         if self.config.latency_model() == LatencyModel::Fabric {
             self.fabric.export_metrics(sink);
         }
@@ -852,6 +1025,12 @@ struct FabricShard<'a> {
     memories: &'a mut [MemoryChiplet],
     crossbars: &'a mut [Crossbar],
     pending: &'a mut [Vec<Option<PendingAccess>>],
+    /// Per-tile running-core counts; the band decrements on halt.
+    live: &'a mut [u32],
+    /// Cycle each tile last ran its step phase (sparse gap replay).
+    last_stepped: &'a mut [u64],
+    /// Cycle each tile's crossbar last ran `begin_cycle`.
+    xbar_cycle: &'a mut [u64],
 }
 
 /// A remote access a fabric shard wants injected; the sequential commit
@@ -874,6 +1053,9 @@ struct ShardOut {
     network_stall_cycles: u64,
     remote_latency_total: u64,
     bank_conflicts: u64,
+    /// Cores that left [`CoreState::Running`] this cycle; the commit
+    /// phase subtracts them from the machine's running-core count.
+    halted_cores: u64,
     telemetry: BufferedSink,
     intents: Vec<InjectIntent>,
     error: Option<RunMachineError>,
@@ -887,6 +1069,7 @@ impl ShardOut {
             network_stall_cycles: 0,
             remote_latency_total: 0,
             bank_conflicts: 0,
+            halted_cores: 0,
             telemetry: BufferedSink::new(telemetry_on),
             intents: Vec::new(),
             error: None,
@@ -897,6 +1080,13 @@ impl ShardOut {
 /// Steps every core of every healthy tile in one band for one cycle
 /// under the fabric model. Stops at the band's first core fault (matching
 /// the sequential engine, which steps nothing after a fault).
+///
+/// With `sparse` set the band visits only *runnable* tiles (at least one
+/// running core that is not blocked on an in-flight remote op). Skipping
+/// is unobservable: a halted core's step is a no-op, and a blocked core's
+/// dense step does exactly `cycles += 1`, `stall_cycles += 1`,
+/// `network_stall_cycles += 1` — replayed in bulk on wake from the gap
+/// since the tile last stepped.
 #[allow(clippy::too_many_arguments)]
 fn step_fabric_band(
     array: TileArray,
@@ -906,6 +1096,8 @@ fn step_fabric_band(
     rotate: usize,
     cores_per_tile: usize,
     cycles: u64,
+    sparse: bool,
+    runnable: &[bool],
     out: &mut ShardOut,
 ) {
     let FabricShard {
@@ -914,16 +1106,48 @@ fn step_fabric_band(
         memories,
         crossbars,
         pending,
+        live,
+        last_stepped,
+        xbar_cycle,
     } = shard;
     for local_t in 0..band.len() {
         let tile_idx = band.start + local_t;
-        crossbars[local_t].begin_cycle();
         let tile = array.coord_of(tile_idx);
+        // A faulty tile's crossbar is never arbitrated (its cores never
+        // run and it owns no servable memory), so skipping `begin_cycle`
+        // for it is unobservable.
         if faults.is_faulty(tile) {
             continue;
         }
+        if sparse && !runnable[tile_idx] {
+            continue;
+        }
+        // Replay the skipped span: every core sitting on an in-flight or
+        // just-completed remote op stepped-and-stalled once per skipped
+        // cycle in the dense sweep.
+        let gap = cycles - last_stepped[local_t] - 1;
+        if gap > 0 {
+            for slot in 0..cores_per_tile {
+                if matches!(
+                    pending[local_t][slot],
+                    Some(PendingAccess::InFlight { .. }) | Some(PendingAccess::Ready { .. })
+                ) {
+                    cores[local_t][slot].absorb_stall_cycles(gap);
+                    out.network_stall_cycles += gap;
+                }
+            }
+        }
+        last_stepped[local_t] = cycles;
+        crossbars[local_t].begin_cycle();
+        xbar_cycle[local_t] = cycles;
         for i in 0..cores_per_tile {
             let core_idx = (i + rotate) % cores_per_tile;
+            // Identical in both modes: stepping a non-running core is a
+            // no-op in `CoreSim::step`, so eliding the call changes
+            // nothing and keeps the halt accounting below exact.
+            if cores[local_t][core_idx].state() != CoreState::Running {
+                continue;
+            }
             let outcome = step_one_core_fabric(
                 array,
                 faults,
@@ -937,13 +1161,21 @@ fn step_fabric_band(
                 &mut pending[local_t][core_idx],
                 out,
             );
-            if let Err(source) = outcome {
-                out.error = Some(RunMachineError::CoreFault {
-                    tile,
-                    core: core_idx,
-                    source,
-                });
-                return;
+            match outcome {
+                Err(source) => {
+                    out.error = Some(RunMachineError::CoreFault {
+                        tile,
+                        core: core_idx,
+                        source,
+                    });
+                    return;
+                }
+                Ok(state) => {
+                    if state != CoreState::Running {
+                        live[local_t] -= 1;
+                        out.halted_cores += 1;
+                    }
+                }
             }
         }
     }
@@ -966,7 +1198,7 @@ fn step_one_core_fabric(
     crossbar: &mut Crossbar,
     pending_slot: &mut Option<PendingAccess>,
     out: &mut ShardOut,
-) -> Result<(), StepError> {
+) -> Result<CoreState, StepError> {
     let my_tile = array.coord_of(tile_idx);
     core.step(|access| {
         let addr = match access {
@@ -1044,7 +1276,6 @@ fn step_one_core_fabric(
             }
         }
     })
-    .map(|_| ())
 }
 
 impl fmt::Debug for MultiTileMachine {
@@ -1525,5 +1756,129 @@ mod tests {
             stats.relay_forwards >= 1,
             "request or response re-injected at the via tile"
         );
+    }
+
+    #[test]
+    fn sparse_stepping_is_bit_identical_to_dense() {
+        // The PR's tentpole claim at machine level: the active-set walk
+        // must match the dense sweep bit for bit — stats, memory, the
+        // per-core activity counters (which the gap replay reconstructs),
+        // and the runnable-tiles sample — at every thread count.
+        let hot = TileCoord::new(0, 0);
+        let run = |stepping: Stepping, threads: usize| {
+            let mut m = machine(4);
+            m.set_stepping(stepping);
+            m.set_threads(threads);
+            load_hotspot(&mut m, 4, hot);
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            let probe = m.global_address(hot, 0).expect("ok");
+            (
+                stats,
+                m.read_word(probe).expect("ok"),
+                m.per_tile_activity(),
+                m.runnable_tiles().clone(),
+            )
+        };
+        let baseline = run(Stepping::Dense, 1);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                run(Stepping::Sparse, threads),
+                baseline,
+                "sparse, threads = {threads}"
+            );
+        }
+        assert_eq!(run(Stepping::Dense, 8), baseline, "dense, threads = 8");
+    }
+
+    #[test]
+    fn sparse_stepping_matches_dense_under_the_analytic_model() {
+        // Analytic sparse stepping only elides halted cores; a machine
+        // where programs finish at staggered times must end identically.
+        let run = |stepping: Stepping| {
+            let mut m = analytic_machine(4);
+            m.set_stepping(stepping);
+            let counter = m.global_address(TileCoord::new(0, 0), 128).expect("ok");
+            for (i, tile) in TileArray::new(4, 4).tiles().enumerate() {
+                let reps = 1 + (i as u32 % 5);
+                let program = Program::builder()
+                    .ldi(Reg::R1, counter)
+                    .ldi(Reg::R2, 1)
+                    .ldi(Reg::R3, reps)
+                    .ldi(Reg::R0, 0)
+                    .label("loop")
+                    .amo_add(Reg::R4, Reg::R1, Reg::R2)
+                    .addi(Reg::R3, Reg::R3, -1)
+                    .bne(Reg::R3, Reg::R0, "loop")
+                    .halt()
+                    .build()
+                    .expect("builds");
+                m.load_program(tile, 0, &program).expect("ok");
+            }
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            (
+                stats,
+                m.read_word(counter).expect("ok"),
+                m.per_tile_activity(),
+                m.runnable_tiles().clone(),
+            )
+        };
+        assert_eq!(run(Stepping::Sparse), run(Stepping::Dense));
+    }
+
+    #[test]
+    fn blocked_tiles_leave_the_runnable_set() {
+        // One issuing tile on a 8x8 machine: while its single remote op
+        // is in flight the whole machine has zero runnable tiles, so the
+        // sampled runnable peak stays at 1 and the executor reports the
+        // sparse path.
+        let mut m = machine(8);
+        assert_eq!(m.executor(), "sparse");
+        let target = m.global_address(TileCoord::new(7, 7), 0).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, target)
+            .ldi(Reg::R2, 1)
+            .st(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program)
+            .expect("ok");
+        let stats = m.run_until_halt(100_000).expect("halts");
+        assert!(stats.network_stall_cycles > 0);
+        let hist = m.runnable_tiles();
+        assert_eq!(hist.max(), 1, "only one tile ever runnable");
+        assert_eq!(hist.min(), 0, "tile blocked while the op is in flight");
+        assert_eq!(hist.count(), stats.cycles, "one sample per cycle");
+    }
+
+    #[test]
+    fn core_mut_wakes_a_sparse_machine() {
+        // Direct core mutation must invalidate the cached liveness so a
+        // manually reset machine does not spin forever (or exit early).
+        let mut m = machine(2);
+        let local = m.global_address(TileCoord::new(0, 0), 0).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, local)
+            .ldi(Reg::R2, 41)
+            .st(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program)
+            .expect("ok");
+        m.run_until_halt(1_000).expect("halts");
+        assert_eq!(m.read_word(local).expect("ok"), 41);
+        // Reload the same core through load_program and run again.
+        let program2 = Program::builder()
+            .ldi(Reg::R1, local)
+            .ldi(Reg::R2, 42)
+            .st(Reg::R2, Reg::R1, 0)
+            .halt()
+            .build()
+            .expect("builds");
+        m.load_program(TileCoord::new(0, 0), 0, &program2)
+            .expect("ok");
+        m.run_until_halt(1_000).expect("halts");
+        assert_eq!(m.read_word(local).expect("ok"), 42);
     }
 }

@@ -30,6 +30,21 @@
 //! the fabric is **bit-identical at any thread count** — the parallel
 //! backend is an implementation detail, not a different simulator.
 //!
+//! # Active-set scheduling
+//!
+//! A tile whose five input FIFOs are all empty on a network cannot plan a
+//! move, a stall, or a round-robin update on that network, so sweeping it
+//! is pure overhead. Each [`Network`] therefore keeps a per-tile occupancy
+//! count and a *wake list* of tiles with at least one queued packet,
+//! maintained at every push and pop. Under the default
+//! [`Stepping::Sparse`] mode, each tick canonicalises the wake lists
+//! (drop drained tiles, sort ascending) and plans only the awake tiles;
+//! the apply phase wakes every destination it pushes into. Because
+//! "awake" is exactly "occupancy > 0" and the wake order is sorted, the
+//! planned move stream — and therefore every counter and every packet —
+//! is byte-identical to the dense sweep at any thread count
+//! ([`Stepping::Dense`] remains available as the reference).
+//!
 //! # Examples
 //!
 //! ```
@@ -57,8 +72,8 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Arc;
 
-use wsp_common::parallel::{band_ranges, WorkerPool};
-use wsp_telemetry::{NoopSink, Sink};
+use wsp_common::parallel::{band_ranges, AdaptiveExecutor, Stepping, WorkerPool};
+use wsp_telemetry::{Histogram, NoopSink, Sink};
 use wsp_topo::{Direction, TileArray, TileCoord, DIRECTIONS};
 
 use crate::kernel::NetworkChoice;
@@ -183,11 +198,20 @@ impl FabricPacket {
 }
 
 /// One mesh network's router state: five input FIFOs per tile
-/// (N, S, E, W, local injection).
+/// (N, S, E, W, local injection), plus the active-set tracker.
 struct Network {
     queues: Vec<[VecDeque<FabricPacket>; 5]>,
     /// Round-robin pointers, one per (tile, output port).
     rr: Vec<[usize; 5]>,
+    /// Packets queued at each tile across all five FIFOs. The invariant
+    /// `occ[t] > 0 ⟺ t can plan a move/stall/rr-update` is what makes
+    /// sparse stepping bit-identical to the dense sweep.
+    occ: Vec<u32>,
+    /// Tiles with `occ > 0` (plus possibly drained stragglers until the
+    /// next [`Network::prune_wake`]). Every push registers its tile here.
+    wake: Vec<usize>,
+    /// Membership dedup for `wake`, so a tile is listed at most once.
+    in_wake: Vec<bool>,
 }
 
 impl Network {
@@ -195,14 +219,48 @@ impl Network {
         Network {
             queues: (0..tiles).map(|_| Default::default()).collect(),
             rr: vec![[0; 5]; tiles],
+            occ: vec![0; tiles],
+            wake: Vec::new(),
+            in_wake: vec![false; tiles],
         }
     }
 
+    /// Registers one packet pushed into any FIFO of `tile_idx`.
+    #[inline]
+    fn note_push(&mut self, tile_idx: usize) {
+        self.occ[tile_idx] += 1;
+        if !self.in_wake[tile_idx] {
+            self.in_wake[tile_idx] = true;
+            self.wake.push(tile_idx);
+        }
+    }
+
+    /// Registers one packet popped from any FIFO of `tile_idx`. The tile
+    /// stays on the wake list until the next prune observes `occ == 0`.
+    #[inline]
+    fn note_pop(&mut self, tile_idx: usize) {
+        self.occ[tile_idx] -= 1;
+    }
+
+    /// Canonicalises the wake list: drops drained tiles and sorts
+    /// ascending, so sparse planning visits awake tiles in exactly the
+    /// order the dense sweep would.
+    fn prune_wake(&mut self) {
+        let Network {
+            occ, wake, in_wake, ..
+        } = self;
+        wake.retain(|&tile_idx| {
+            let live = occ[tile_idx] > 0;
+            if !live {
+                in_wake[tile_idx] = false;
+            }
+            live
+        });
+        wake.sort_unstable();
+    }
+
     fn total_occupancy(&self) -> usize {
-        self.queues
-            .iter()
-            .map(|qs| qs.iter().map(VecDeque::len).sum::<usize>())
-            .sum()
+        self.occ.iter().map(|&n| n as usize).sum()
     }
 }
 
@@ -248,55 +306,74 @@ struct PlanCtx<'a> {
 }
 
 impl PlanCtx<'_> {
-    /// Plans one band of tiles: for every output port of every tile in the
-    /// band, pick the round-robin arbitration winner among the input FIFO
-    /// heads routed to it, against pre-cycle queue state only.
+    /// Plans one tile on one network: for every output port, pick the
+    /// round-robin arbitration winner among the input FIFO heads routed
+    /// to it, against pre-cycle queue state only. A tile with all five
+    /// FIFOs empty plans nothing — the fact the sparse scheduler leans on.
+    fn plan_tile(&self, network: &Network, tile_idx: usize, moves: &mut Vec<PlannedMove>) {
+        let tile = self.array.coord_of(tile_idx);
+        let queues = &network.queues[tile_idx];
+        // One routing decision per queue head; a head contends for
+        // exactly one output port, so grants never overlap.
+        let head_out: [Option<usize>; 5] = std::array::from_fn(|in_port| {
+            queues[in_port]
+                .front()
+                .map(|p| output_port_of(self.array, tile, p))
+        });
+        // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
+        #[allow(clippy::needless_range_loop)]
+        for out_port in 0..5 {
+            let start = network.rr[tile_idx][out_port];
+            let grant = (0..5)
+                .map(|o| (start + o) % 5)
+                .find(|&in_port| head_out[in_port] == Some(out_port));
+            let Some(in_port) = grant else { continue };
+            if out_port == LOCAL {
+                moves.push(PlannedMove::Eject { tile_idx, in_port });
+                continue;
+            }
+            let dir = DIRECTIONS[out_port];
+            let Some(nb) = self.array.neighbor(tile, dir) else {
+                unreachable!("DoR never routes off the array");
+            };
+            let nb_idx = self.array.index_of(nb);
+            let in_side = dir.opposite().index();
+            // Pre-cycle occupancy: each input FIFO is fed by one
+            // physical upstream link, so at most one push lands
+            // per cycle and the check cannot oversubscribe.
+            if network.queues[nb_idx][in_side].len() < self.queue_capacity {
+                moves.push(PlannedMove::Forward {
+                    tile_idx,
+                    in_port,
+                    out_port,
+                    nb_idx,
+                    in_side,
+                });
+            } else {
+                moves.push(PlannedMove::Stall { tile_idx, out_port });
+            }
+        }
+    }
+
+    /// Plans one dense band of tiles (the reference sweep).
     fn plan_band(&self, band: Range<usize>) -> [Vec<PlannedMove>; 2] {
         let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
         for (network, moves) in self.networks.iter().zip(out.iter_mut()) {
             for tile_idx in band.clone() {
-                let tile = self.array.coord_of(tile_idx);
-                let queues = &network.queues[tile_idx];
-                // One routing decision per queue head; a head contends for
-                // exactly one output port, so grants never overlap.
-                let head_out: [Option<usize>; 5] = std::array::from_fn(|in_port| {
-                    queues[in_port]
-                        .front()
-                        .map(|p| output_port_of(self.array, tile, p))
-                });
-                // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
-                #[allow(clippy::needless_range_loop)]
-                for out_port in 0..5 {
-                    let start = network.rr[tile_idx][out_port];
-                    let grant = (0..5)
-                        .map(|o| (start + o) % 5)
-                        .find(|&in_port| head_out[in_port] == Some(out_port));
-                    let Some(in_port) = grant else { continue };
-                    if out_port == LOCAL {
-                        moves.push(PlannedMove::Eject { tile_idx, in_port });
-                        continue;
-                    }
-                    let dir = DIRECTIONS[out_port];
-                    let Some(nb) = self.array.neighbor(tile, dir) else {
-                        unreachable!("DoR never routes off the array");
-                    };
-                    let nb_idx = self.array.index_of(nb);
-                    let in_side = dir.opposite().index();
-                    // Pre-cycle occupancy: each input FIFO is fed by one
-                    // physical upstream link, so at most one push lands
-                    // per cycle and the check cannot oversubscribe.
-                    if network.queues[nb_idx][in_side].len() < self.queue_capacity {
-                        moves.push(PlannedMove::Forward {
-                            tile_idx,
-                            in_port,
-                            out_port,
-                            nb_idx,
-                            in_side,
-                        });
-                    } else {
-                        moves.push(PlannedMove::Stall { tile_idx, out_port });
-                    }
-                }
+                self.plan_tile(network, tile_idx, moves);
+            }
+        }
+        out
+    }
+
+    /// Plans one slice of each network's (sorted) wake list. Concatenating
+    /// the outputs of consecutive slices replays the dense band walk
+    /// exactly, because idle tiles plan nothing.
+    fn plan_wake_slices(&self, slices: [&[usize]; 2]) -> [Vec<PlannedMove>; 2] {
+        let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
+        for ((network, moves), slice) in self.networks.iter().zip(out.iter_mut()).zip(slices) {
+            for &tile_idx in slice {
+                self.plan_tile(network, tile_idx, moves);
             }
         }
         out
@@ -317,8 +394,16 @@ pub struct Fabric {
     next_id: u64,
     relay_forwards: u64,
     link_traversals: u64,
-    /// Worker pool for the plan phase; `None` plans inline on the caller.
-    pool: Option<Arc<WorkerPool>>,
+    /// How ticks visit tiles: sparse active-set walk (default) or the
+    /// dense reference sweep. Results are bit-identical either way.
+    stepping: Stepping,
+    /// Adaptive executor for the plan phase: bands across a worker pool
+    /// when the active set is large enough, inline otherwise.
+    exec: AdaptiveExecutor,
+    /// Per-tick active-set sizes (awake tiles summed over both networks),
+    /// sampled in *both* stepping modes so the exported telemetry is
+    /// independent of the mode and thread count.
+    active_tiles: Histogram,
     /// Telemetry sink; [`NoopSink`] by default so the hot path pays one
     /// `enabled()` virtual call per tick when tracing is off.
     sink: Box<dyn Sink>,
@@ -340,7 +425,9 @@ impl Fabric {
             next_id: 0,
             relay_forwards: 0,
             link_traversals: 0,
-            pool: None,
+            stepping: Stepping::default(),
+            exec: AdaptiveExecutor::default(),
+            active_tiles: Histogram::new(),
             sink: Box::new(NoopSink),
         }
     }
@@ -349,17 +436,37 @@ impl Fabric {
     /// bit-identical at any thread count, including 1; `threads <= 1`
     /// drops back to inline planning with no pool at all.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+        self.exec = AdaptiveExecutor::new(threads);
     }
 
     /// Shares an existing worker pool (e.g. the machine's) for planning.
     pub fn set_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
-        self.pool = pool.filter(|p| p.threads() > 1);
+        self.exec = AdaptiveExecutor::from_pool(pool);
     }
 
     /// Shards used by the plan phase of each tick.
     pub fn threads(&self) -> usize {
-        self.pool.as_ref().map_or(1, |p| p.threads())
+        self.exec.threads()
+    }
+
+    /// Selects how ticks visit tiles (default: [`Stepping::Sparse`]).
+    pub fn set_stepping(&mut self, stepping: Stepping) {
+        self.stepping = stepping;
+    }
+
+    /// The current stepping mode.
+    pub fn stepping(&self) -> Stepping {
+        self.stepping
+    }
+
+    /// The execution path ticks currently take, for bench reporting:
+    /// `"sparse"`, `"banded"`, or `"sequential"`.
+    pub fn executor(&self) -> &'static str {
+        match (self.stepping, self.threads()) {
+            (Stepping::Sparse, _) => "sparse",
+            (Stepping::Dense, t) if t > 1 => "banded",
+            (Stepping::Dense, _) => "sequential",
+        }
     }
 
     /// Installs a telemetry sink. Each endpoint delivery then emits a
@@ -394,9 +501,10 @@ impl Fabric {
     pub fn inject(&mut self, packet: FabricPacket) -> bool {
         let net = packet.network() as usize;
         let idx = self.array.index_of(packet.src);
-        let q = &mut self.networks[net].queues[idx][LOCAL];
-        if q.len() < self.queue_capacity * LOCAL_QUEUE_FACTOR {
-            q.push_back(packet);
+        let network = &mut self.networks[net];
+        if network.queues[idx][LOCAL].len() < self.queue_capacity * LOCAL_QUEUE_FACTOR {
+            network.queues[idx][LOCAL].push_back(packet);
+            network.note_push(idx);
             true
         } else {
             false
@@ -409,7 +517,9 @@ impl Fabric {
     pub fn inject_unbounded(&mut self, packet: FabricPacket) {
         let net = packet.network() as usize;
         let idx = self.array.index_of(packet.src);
-        self.networks[net].queues[idx][LOCAL].push_back(packet);
+        let network = &mut self.networks[net];
+        network.queues[idx][LOCAL].push_back(packet);
+        network.note_push(idx);
     }
 
     /// Packets currently queued anywhere in the fabric.
@@ -433,6 +543,16 @@ impl Fabric {
     pub fn tick(&mut self) -> Vec<FabricPacket> {
         self.cycle += 1;
 
+        // Canonicalise the wake lists and sample the active set in both
+        // stepping modes: the sample is a pure function of queue state, so
+        // the exported histogram is identical across modes and threads.
+        let mut active = 0usize;
+        for network in &mut self.networks {
+            network.prune_wake();
+            active += network.wake.len();
+        }
+        self.active_tiles.record(active as u64);
+
         let tiles = self.array.tile_count();
         let plans: Vec<[Vec<PlannedMove>; 2]> = {
             let ctx = PlanCtx {
@@ -440,11 +560,37 @@ impl Fabric {
                 queue_capacity: self.queue_capacity,
                 networks: &self.networks,
             };
-            match &self.pool {
-                None => vec![ctx.plan_band(0..tiles)],
-                Some(pool) => {
-                    let bands = band_ranges(tiles, pool.threads());
-                    pool.map(bands, |_, band| ctx.plan_band(band))
+            match self.stepping {
+                Stepping::Dense => match self.exec.pool() {
+                    None => vec![ctx.plan_band(0..tiles)],
+                    Some(pool) => {
+                        let bands = band_ranges(tiles, pool.threads());
+                        pool.map(bands, |_, band| ctx.plan_band(band))
+                    }
+                },
+                Stepping::Sparse => {
+                    let shards = self.exec.shards_for(active);
+                    if shards <= 1 {
+                        vec![ctx.plan_wake_slices([&self.networks[0].wake, &self.networks[1].wake])]
+                    } else {
+                        // Shard each network's wake list independently;
+                        // concatenating shard outputs per network restores
+                        // the ascending tile order of the dense walk.
+                        let bands: [Vec<Range<usize>>; 2] = [
+                            band_ranges(self.networks[0].wake.len(), shards),
+                            band_ranges(self.networks[1].wake.len(), shards),
+                        ];
+                        let inputs: Vec<[&[usize]; 2]> = (0..shards)
+                            .map(|s| {
+                                [
+                                    &self.networks[0].wake[bands[0][s].clone()],
+                                    &self.networks[1].wake[bands[1][s].clone()],
+                                ]
+                            })
+                            .collect();
+                        self.exec
+                            .map(inputs, |_, slices| ctx.plan_wake_slices(slices))
+                    }
                 }
             }
         };
@@ -462,6 +608,7 @@ impl Fabric {
                             let packet = network.queues[tile_idx][in_port]
                                 .pop_front()
                                 .expect("planned head");
+                            network.note_pop(tile_idx);
                             network.rr[tile_idx][LOCAL] = (in_port + 1) % 5;
                             ejected.push(packet);
                         }
@@ -476,6 +623,7 @@ impl Fabric {
                             let mut packet = network.queues[tile_idx][in_port]
                                 .pop_front()
                                 .expect("planned head");
+                            network.note_pop(tile_idx);
                             network.rr[tile_idx][out_port] = (in_port + 1) % 5;
                             packet.hops += 1;
                             self.link_traversals += 1;
@@ -491,11 +639,12 @@ impl Fabric {
         }
 
         for (net, tile, port, packet) in arrivals {
-            let q = &mut self.networks[net].queues[tile][port];
-            q.push_back(packet);
+            let network = &mut self.networks[net];
+            network.queues[tile][port].push_back(packet);
+            network.note_push(tile);
             // `port` is the receiving side, which faces back toward the
             // sender; attribute the peak to the upstream link feeding it.
-            let occupancy = q.len();
+            let occupancy = network.queues[tile][port].len();
             let upstream = self
                 .array
                 .neighbor(self.array.coord_of(tile), DIRECTIONS[port])
@@ -519,7 +668,9 @@ impl Fabric {
                 };
                 let net = packet.network() as usize;
                 let idx = self.array.index_of(via);
-                self.networks[net].queues[idx][LOCAL].push_back(packet);
+                let network = &mut self.networks[net];
+                network.queues[idx][LOCAL].push_back(packet);
+                network.note_push(idx);
             } else {
                 delivered.push(packet);
             }
@@ -639,6 +790,12 @@ impl Fabric {
             self.peak_link_occupancy() as f64,
         );
         sink.gauge_set("fabric.cycles", self.cycle as f64);
+        // Active-set occupancy: sampled per tick in both stepping modes
+        // from queue state alone, so these values are identical across
+        // modes and thread counts (the CI smoke gate byte-compares them).
+        sink.gauge_set("fabric.active_tiles_mean", self.active_tiles.mean());
+        sink.gauge_set("fabric.active_tiles_peak", self.active_tiles.max() as f64);
+        sink.histogram_merge("fabric.active_tiles", &self.active_tiles);
         for per_net in &self.links {
             for dirs in per_net {
                 for stats in dirs {
@@ -668,6 +825,13 @@ impl Fabric {
             .flat_map(|dirs| dirs.iter())
             .map(|s| s.stall_cycles)
             .sum()
+    }
+
+    /// Per-tick active-set sizes sampled so far (awake tiles summed over
+    /// both networks) — a pure function of queue state, identical in
+    /// either stepping mode.
+    pub fn active_tiles(&self) -> &Histogram {
+        &self.active_tiles
     }
 
     /// The highest occupancy any link input FIFO ever reached.
@@ -856,6 +1020,70 @@ mod tests {
         for threads in [2, 3, 5, 8] {
             assert_eq!(run(threads), baseline, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn sparse_stepping_is_bit_identical_to_dense() {
+        // Same hotspot-plus-background flood as the thread-count test,
+        // compared across the dense/sparse × thread-count matrix. The
+        // active-set histogram must match too: it is sampled from queue
+        // state, not from the scheduler's own work list.
+        let run = |stepping: Stepping, threads: usize| {
+            let mut fabric = Fabric::new(TileArray::new(8, 8), 2);
+            fabric.set_threads(threads);
+            fabric.set_stepping(stepping);
+            for _ in 0..3 {
+                for x in 0..8u16 {
+                    for y in 0..8u16 {
+                        if (x, y) == (4, 4) {
+                            continue;
+                        }
+                        let p = direct_req(&mut fabric, (x, y), (4, 4));
+                        fabric.inject(p);
+                        let q = direct_req(&mut fabric, (x, y), (y, x));
+                        fabric.inject(q);
+                    }
+                }
+            }
+            let delivered: Vec<(u64, u32, u64)> = fabric
+                .drain()
+                .into_iter()
+                .map(|p| (p.id, p.hops, p.injected_at))
+                .collect();
+            (
+                delivered,
+                fabric.cycle(),
+                fabric.link_traversals(),
+                fabric.total_stall_cycles(),
+                fabric.peak_link_occupancy(),
+                fabric.utilization_heatmap(),
+                fabric.active_tiles().clone(),
+            )
+        };
+        let baseline = run(Stepping::Dense, 1);
+        assert!(baseline.6.count() > 0, "active-set samples recorded");
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                run(Stepping::Sparse, threads),
+                baseline,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_tiles_cost_nothing_in_sparse_mode() {
+        // One packet on a big array: after the first prune, only the
+        // tiles along the path are ever awake.
+        let mut fabric = Fabric::new(TileArray::new(16, 16), 4);
+        assert_eq!(fabric.executor(), "sparse");
+        let p = direct_req(&mut fabric, (0, 0), (3, 0));
+        assert!(fabric.inject(p));
+        let delivered = fabric.drain();
+        assert_eq!(delivered.len(), 1);
+        let active = fabric.active_tiles();
+        assert_eq!(active.max(), 1, "a single flit wakes one tile per tick");
+        assert_eq!(fabric.in_flight(), 0);
     }
 
     #[test]

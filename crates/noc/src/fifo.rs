@@ -97,6 +97,15 @@ impl<T, const DEPTH: usize> AsyncFifo<T, DEPTH> {
         self.wptr.wrapping_sub(self.rptr) as usize
     }
 
+    /// True emptiness, from the omniscient occupancy — the predicate an
+    /// activity scheduler wants ("is there work queued *at all*?"),
+    /// distinct from [`AsyncFifo::reader_sees_empty`], which can lag a
+    /// push by the Gray-pointer synchroniser delay and report empty
+    /// while an entry is already committed.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
     /// Whether the *writer* believes the FIFO is full. Because the read
     /// pointer it compares against is delayed, this can be conservatively
     /// true (never falsely empty space).
@@ -218,6 +227,22 @@ mod tests {
         fifo.sync_pointers();
         assert!(!fifo.reader_sees_empty());
         assert_eq!(fifo.pop(), Some(1));
+    }
+
+    #[test]
+    fn is_empty_tracks_occupancy_not_the_synchronised_view() {
+        let mut fifo: AsyncFifo<u8, 4> = AsyncFifo::new();
+        assert!(fifo.is_empty());
+        assert!(fifo.push(9));
+        // The entry is committed immediately, so the omniscient predicate
+        // flips at once — while the reader's CDC-delayed view still says
+        // empty until the Gray pointer crosses.
+        assert!(!fifo.is_empty());
+        assert!(fifo.reader_sees_empty());
+        fifo.sync_pointers();
+        assert!(!fifo.reader_sees_empty());
+        assert_eq!(fifo.pop(), Some(9));
+        assert!(fifo.is_empty());
     }
 
     #[test]

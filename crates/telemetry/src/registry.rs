@@ -138,6 +138,21 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Merges another histogram into this one bucket-wise: counts and
+    /// sums add (saturating), min/max widen. Used both by
+    /// [`Registry::merge`] and by subsystems that aggregate samples
+    /// locally (e.g. the fabric's per-cycle active-set sizes) and export
+    /// the finished histogram once.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
     /// Estimated value at percentile `p` (in `[0, 1]`): the ceiling of the
     /// bucket containing the rank-`⌈p·count⌉` sample, clamped into
     /// `[min, max]`. Monotone in `p` by construction, and 0 when empty.
@@ -197,6 +212,14 @@ impl Registry {
             .record(value);
     }
 
+    /// Merges a locally aggregated histogram into the named histogram.
+    pub fn histogram_merge(&mut self, name: &str, hist: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge_from(hist);
+    }
+
     /// Replaces the named series (e.g. a row-major per-tile heat map).
     pub fn series_set(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
         self.series
@@ -241,14 +264,10 @@ impl Registry {
             self.gauges.insert(name.clone(), *v);
         }
         for (name, h) in &other.histograms {
-            let mine = self.histograms.entry(name.clone()).or_default();
-            mine.count = mine.count.saturating_add(h.count);
-            mine.sum = mine.sum.saturating_add(h.sum);
-            mine.min = mine.min.min(h.min);
-            mine.max = mine.max.max(h.max);
-            for (a, b) in mine.buckets.iter_mut().zip(h.buckets.iter()) {
-                *a += b;
-            }
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(h);
         }
         for (name, s) in &other.series {
             self.series.insert(name.clone(), s.clone());

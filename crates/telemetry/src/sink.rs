@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::{Registry, Tracer};
+use crate::{Histogram, Registry, Tracer};
 
 /// Telemetry hooks an instrumented subsystem calls.
 ///
@@ -27,6 +27,13 @@ pub trait Sink: Send {
 
     /// Records one sample into a named histogram.
     fn histogram_record(&mut self, _name: &str, _value: u64) {}
+
+    /// Merges a locally aggregated histogram into a named histogram.
+    ///
+    /// Subsystems that sample on a hot path (e.g. the fabric's per-cycle
+    /// active-set sizes) accumulate into their own [`Histogram`] and
+    /// export it once via this hook instead of emitting per-sample events.
+    fn histogram_merge(&mut self, _name: &str, _hist: &Histogram) {}
 
     /// Replaces a named series (e.g. a row-major per-tile heat map).
     fn series_set(&mut self, _name: &str, _values: &[f64]) {}
@@ -85,6 +92,10 @@ impl Sink for Recorder {
         self.registry.histogram_record(name, value);
     }
 
+    fn histogram_merge(&mut self, name: &str, hist: &Histogram) {
+        self.registry.histogram_merge(name, hist);
+    }
+
     fn series_set(&mut self, name: &str, values: &[f64]) {
         self.registry.series_set(name, values.iter().copied());
     }
@@ -112,6 +123,12 @@ enum BufferedEvent {
     Histogram {
         name: String,
         value: u64,
+    },
+    HistogramMerge {
+        name: String,
+        // Boxed: a Histogram's bucket array would otherwise dominate the
+        // size of every buffered event.
+        hist: Box<Histogram>,
     },
     Series {
         name: String,
@@ -189,6 +206,9 @@ impl BufferedSink {
                 BufferedEvent::Counter { name, delta } => sink.counter_add(&name, delta),
                 BufferedEvent::Gauge { name, value } => sink.gauge_set(&name, value),
                 BufferedEvent::Histogram { name, value } => sink.histogram_record(&name, value),
+                BufferedEvent::HistogramMerge { name, hist } => {
+                    sink.histogram_merge(&name, &hist);
+                }
                 BufferedEvent::Series { name, values } => sink.series_set(&name, &values),
                 BufferedEvent::Span {
                     category,
@@ -241,6 +261,15 @@ impl Sink for BufferedSink {
             self.events.push(BufferedEvent::Histogram {
                 name: name.to_owned(),
                 value,
+            });
+        }
+    }
+
+    fn histogram_merge(&mut self, name: &str, hist: &Histogram) {
+        if self.enabled {
+            self.events.push(BufferedEvent::HistogramMerge {
+                name: name.to_owned(),
+                hist: Box::new(hist.clone()),
             });
         }
     }
@@ -349,6 +378,10 @@ impl Sink for SharedRecorder {
         self.with(|r| r.registry.histogram_record(name, value));
     }
 
+    fn histogram_merge(&mut self, name: &str, hist: &Histogram) {
+        self.with(|r| r.registry.histogram_merge(name, hist));
+    }
+
     fn series_set(&mut self, name: &str, values: &[f64]) {
         self.with(|r| r.registry.series_set(name, values.iter().copied()));
     }
@@ -438,6 +471,32 @@ mod tests {
         shard.counter_add("c", 1);
         shard.span("m", "work", 0, 0, 1);
         assert!(shard.is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_flows_through_every_sink() {
+        let mut local = Histogram::new();
+        local.record(3);
+        local.record(1000);
+
+        let mut recorder = Recorder::new();
+        recorder.histogram_merge("h", &local);
+        assert_eq!(recorder.registry.histogram("h").unwrap().count(), 2);
+        assert_eq!(recorder.registry.histogram("h").unwrap().max(), 1000);
+
+        let mut shard = BufferedSink::new(true);
+        shard.histogram_record("h", 7);
+        shard.histogram_merge("h", &local);
+        let mut replayed = Recorder::new();
+        shard.replay(&mut replayed);
+        assert_eq!(replayed.registry.histogram("h").unwrap().count(), 3);
+
+        let shared = SharedRecorder::new();
+        shared.boxed().histogram_merge("h", &local);
+        assert_eq!(
+            shared.with(|r| r.registry.histogram("h").unwrap().sum()),
+            1003
+        );
     }
 
     #[test]

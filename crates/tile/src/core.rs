@@ -208,6 +208,20 @@ impl CoreSim {
         self.stats
     }
 
+    /// Credits `cycles` cycles in which this core was stepped but stalled
+    /// on an outstanding shared-memory access, without re-executing the
+    /// instruction. An activity-driven scheduler that skips a fully
+    /// blocked tile replays the skipped span through this method: a
+    /// blocked core's [`CoreSim::step`] does exactly one `cycles` and one
+    /// `stall_cycles` increment per cycle and nothing else, so the replay
+    /// is bit-identical to having stepped it.
+    #[inline]
+    pub fn absorb_stall_cycles(&mut self, cycles: u64) {
+        debug_assert_eq!(self.state, CoreState::Running, "only running cores stall");
+        self.stats.cycles += cycles;
+        self.stats.stall_cycles += cycles;
+    }
+
     /// Reads a word from private SRAM (for test setup / result readout).
     ///
     /// # Errors

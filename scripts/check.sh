@@ -19,19 +19,29 @@ cargo test -q
 echo "==> bench smoke (BENCH_*.json present and well-formed)"
 ./scripts/bench.sh --smoke
 
-echo "==> determinism gate (fig7_network smoke JSON, 1 thread vs 8)"
-# The parallel backend must be bit-identical to sequential: the smoke
-# JSON (which carries only deterministic metrics, no wall-clock gauges)
-# has to match byte for byte across thread counts.
+echo "==> determinism gate (fig7_network smoke JSON, {dense,sparse} x {1,8} threads)"
+# The parallel backend and the sparse active-set scheduler must both be
+# bit-identical to the sequential dense sweep: the smoke JSON (which
+# carries only deterministic metrics, no wall-clock gauges) has to match
+# byte for byte across thread counts AND stepping modes.
 DET_DIR="$(mktemp -d)"
 trap 'rm -rf "$DET_DIR"' EXIT
-target/release/fig7_network --smoke --threads 1 --json "$DET_DIR/t1.json" >/dev/null
-target/release/fig7_network --smoke --threads 8 --json "$DET_DIR/t8.json" >/dev/null
-if ! cmp -s "$DET_DIR/t1.json" "$DET_DIR/t8.json"; then
-    echo "FAIL: fig7_network smoke JSON differs between --threads 1 and --threads 8" >&2
-    diff "$DET_DIR/t1.json" "$DET_DIR/t8.json" >&2 || true
-    exit 1
-fi
-echo "    byte-identical across thread counts"
+baseline="$DET_DIR/dense-t1.json"
+target/release/fig7_network --smoke --stepping dense --threads 1 --json "$baseline" >/dev/null
+for stepping in dense sparse; do
+    for threads in 1 8; do
+        out="$DET_DIR/$stepping-t$threads.json"
+        if [ "$out" != "$baseline" ]; then
+            target/release/fig7_network --smoke --stepping "$stepping" --threads "$threads" \
+                --json "$out" >/dev/null
+        fi
+        if ! cmp -s "$baseline" "$out"; then
+            echo "FAIL: fig7_network smoke JSON differs: dense/1 vs $stepping/$threads" >&2
+            diff "$baseline" "$out" >&2 || true
+            exit 1
+        fi
+    done
+done
+echo "    byte-identical across stepping modes and thread counts"
 
 echo "All checks passed."

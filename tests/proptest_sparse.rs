@@ -1,0 +1,134 @@
+//! Property tests for the activity-driven sparse scheduler: skipping
+//! idle tiles must be *unobservable*. Every fabric report and every
+//! machine outcome — stats, architectural memory state, per-core
+//! activity counters, and the runnable-tiles telemetry sample — has to
+//! match the dense reference sweep bit for bit, across random seeds,
+//! fault maps, and thread counts.
+
+use proptest::prelude::*;
+use waferscale::{LatencyModel, MultiTileMachine, SystemConfig};
+use wsp_common::parallel::Stepping;
+use wsp_common::seeded_rng;
+use wsp_noc::{NocSim, SimConfig, TrafficPattern};
+use wsp_tile::isa::{Program, Reg};
+use wsp_topo::{FaultMap, TileArray};
+
+/// Thread counts exercised against the single-threaded dense baseline.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Fault counts for the 16×16 fabric runs (the fig7 scenario ladder).
+const FABRIC_FAULTS: [usize; 3] = [0, 5, 15];
+
+/// Fault counts for the 4×4 machine runs.
+const MACHINE_FAULTS: [usize; 3] = [0, 1, 3];
+
+/// Runs the NoC traffic simulator on a 16×16 wafer and returns the full
+/// report (deliveries, latencies, stalls, backpressure, undeliverables).
+fn run_fabric(
+    seed: u64,
+    fault_count: usize,
+    requests: u64,
+    pattern: TrafficPattern,
+    stepping: Stepping,
+    threads: usize,
+) -> wsp_noc::SimReport {
+    let array = TileArray::new(16, 16);
+    let mut rng = seeded_rng(seed);
+    let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+    let mut sim = NocSim::new(faults, SimConfig::default());
+    sim.fabric_mut().set_threads(threads);
+    sim.fabric_mut().set_stepping(stepping);
+    sim.run(pattern, requests, &mut rng)
+}
+
+/// Builds a 4×4 fabric-model machine whose healthy tiles all atomically
+/// increment one counter on the first healthy tile (a hot-spot with
+/// long blocked stretches — the sparse scheduler's hardest case), runs
+/// it, and returns everything observable: the stats, the architectural
+/// counter word, the per-core activity counters (which the gap replay
+/// must reconstruct exactly), and the runnable-tiles sample.
+fn run_machine(
+    seed: u64,
+    fault_count: usize,
+    reps: u32,
+    stepping: Stepping,
+    threads: usize,
+) -> impl PartialEq + std::fmt::Debug {
+    let array = TileArray::new(4, 4);
+    let mut rng = seeded_rng(seed);
+    let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
+    let mut m = MultiTileMachine::new(cfg, faults.clone());
+    m.set_threads(threads);
+    m.set_stepping(stepping);
+    let owner = array
+        .tiles()
+        .find(|&t| !faults.is_faulty(t))
+        .expect("some tile survives");
+    let counter = m.global_address(owner, 256).expect("mapped");
+    let program = Program::builder()
+        .ldi(Reg::R1, counter)
+        .ldi(Reg::R2, 1)
+        .ldi(Reg::R3, reps)
+        .ldi(Reg::R0, 0)
+        .label("loop")
+        .amo_add(Reg::R4, Reg::R1, Reg::R2)
+        .addi(Reg::R3, Reg::R3, -1)
+        .bne(Reg::R3, Reg::R0, "loop")
+        .halt()
+        .build()
+        .expect("builds");
+    for tile in array.tiles() {
+        if faults.is_faulty(tile) {
+            continue;
+        }
+        m.load_program(tile, 0, &program).expect("loads");
+    }
+    // A heavily faulted map can disconnect a tile from the owner, which
+    // faults the accessing core — a legitimate outcome that must still
+    // match between stepping modes, so the error is part of the tuple.
+    let outcome = m.run_until_halt(1_000_000).map_err(|e| format!("{e:?}"));
+    (
+        outcome,
+        m.read_word(counter).expect("owner is healthy"),
+        m.per_tile_activity(),
+        m.runnable_tiles().clone(),
+    )
+}
+
+proptest! {
+    /// Fabric packet delivery is bit-identical between the dense sweep
+    /// and the sparse wake-list walk, at every thread count, over clean
+    /// and heavily faulted wafers.
+    #[test]
+    fn sparse_fabric_matches_dense(
+        seed in any::<u64>(),
+        fault_idx in 0usize..3,
+        requests in 20u64..150,
+        threads_idx in 0usize..3,
+    ) {
+        let faults = FABRIC_FAULTS[fault_idx];
+        let threads = THREADS[threads_idx];
+        let pattern = TrafficPattern::UniformRandom;
+        let dense = run_fabric(seed, faults, requests, pattern, Stepping::Dense, 1);
+        let sparse = run_fabric(seed, faults, requests, pattern, Stepping::Sparse, threads);
+        prop_assert_eq!(dense, sparse);
+    }
+
+    /// Machine architectural state — memory, stats, and the per-core
+    /// cycle/stall counters the sparse gap-replay reconstructs — is
+    /// bit-identical between stepping modes at every thread count.
+    #[test]
+    fn sparse_machine_matches_dense(
+        seed in any::<u64>(),
+        fault_idx in 0usize..3,
+        reps in 1u32..6,
+        threads_idx in 0usize..3,
+    ) {
+        let faults = MACHINE_FAULTS[fault_idx];
+        let threads = THREADS[threads_idx];
+        let dense = run_machine(seed, faults, reps, Stepping::Dense, 1);
+        let sparse = run_machine(seed, faults, reps, Stepping::Sparse, threads);
+        prop_assert_eq!(dense, sparse);
+    }
+}
