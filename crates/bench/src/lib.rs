@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 
 use wsp_common::parallel::Stepping;
 use wsp_telemetry::SharedRecorder;
+use wsp_tile::MemoryModelKind;
 
 /// Common CLI options of the regenerator binaries.
 ///
@@ -27,6 +28,9 @@ use wsp_telemetry::SharedRecorder;
 /// - `--stepping <dense|sparse>` — tile-visit strategy for the
 ///   cycle-level engines (default: `sparse`; results are bit-identical
 ///   in either mode);
+/// - `--memory <fixed|banked|banked+tlb>` — memory-timing backend for
+///   the machine and workload layers (default: `fixed`, which is
+///   byte-identical to the pre-trait model);
 /// - `--smoke` — shrink the workload to a seconds-scale smoke run.
 ///
 /// # Examples
@@ -56,6 +60,8 @@ pub struct BenchOpts {
     pub threads: Option<usize>,
     /// Tile-visit strategy for the cycle-level engines.
     pub stepping: Stepping,
+    /// Memory-timing backend for the machine and workload layers.
+    pub memory: MemoryModelKind,
     /// Whether to run the reduced smoke workload.
     pub smoke: bool,
 }
@@ -69,7 +75,7 @@ impl BenchOpts {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] \
-                     [--stepping <dense|sparse>] [--smoke]"
+                     [--stepping <dense|sparse>] [--memory <fixed|banked|banked+tlb>] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -115,6 +121,12 @@ impl BenchOpts {
                     let raw = args.next().ok_or("--stepping requires a value")?;
                     opts.stepping = Stepping::parse(&raw)
                         .ok_or_else(|| format!("invalid stepping {raw:?} (dense|sparse)"))?;
+                }
+                "--memory" => {
+                    let raw = args.next().ok_or("--memory requires a value")?;
+                    opts.memory = MemoryModelKind::parse(&raw).ok_or_else(|| {
+                        format!("invalid memory model {raw:?} (fixed|banked|banked+tlb)")
+                    })?;
                 }
                 "--smoke" => opts.smoke = true,
                 other => return Err(format!("unknown argument {other:?}")),
@@ -245,6 +257,8 @@ mod tests {
             "4",
             "--stepping",
             "dense",
+            "--memory",
+            "banked",
             "--smoke",
         ])
         .expect("valid");
@@ -254,11 +268,15 @@ mod tests {
         assert_eq!(opts.threads, Some(4));
         assert_eq!(opts.threads_or_available(), 4);
         assert_eq!(opts.stepping, Stepping::Dense);
+        assert_eq!(opts.memory, MemoryModelKind::Banked);
         assert!(opts.smoke);
         assert_eq!(opts.seed_or(7), 9);
         let empty = parse(&[]).expect("empty ok");
         assert_eq!(empty.seed_or(7), 7);
         assert_eq!(empty.stepping, Stepping::Sparse);
+        assert_eq!(empty.memory, MemoryModelKind::Fixed);
+        let tlb = parse(&["--memory", "banked+tlb"]).expect("valid");
+        assert_eq!(tlb.memory, MemoryModelKind::BankedTlb);
     }
 
     #[test]
@@ -277,6 +295,8 @@ mod tests {
         assert!(parse(&["--threads", "nope"]).is_err());
         assert!(parse(&["--stepping"]).is_err());
         assert!(parse(&["--stepping", "eager"]).is_err());
+        assert!(parse(&["--memory"]).is_err());
+        assert!(parse(&["--memory", "dram"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 
@@ -310,6 +330,7 @@ mod tests {
             seed: None,
             threads: None,
             stepping: Stepping::default(),
+            memory: MemoryModelKind::default(),
             smoke: false,
         };
         opts.write_outputs("unit", &recorder);

@@ -11,7 +11,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use wsp_assembly::{BondingModel, ChipletKind, PadFrame, RedundancyScheme};
 use wsp_common::units::{Hertz, Millimeters, SquareMillimeters, Volts, Watts};
-use wsp_tile::{CORES_PER_TILE, PRIVATE_SRAM_BYTES};
+use wsp_tile::{MemoryModelKind, CORES_PER_TILE, PRIVATE_SRAM_BYTES};
 use wsp_topo::TileArray;
 
 /// How the machine prices remote shared-memory accesses.
@@ -51,6 +51,7 @@ pub struct SystemConfig {
     core_voltage: Volts,
     supply_voltage: Volts,
     latency_model: LatencyModel,
+    memory_model: MemoryModelKind,
 }
 
 impl SystemConfig {
@@ -87,6 +88,7 @@ impl SystemConfig {
             core_voltage: Self::NOMINAL_VOLTAGE,
             supply_voltage: Volts(2.5),
             latency_model: LatencyModel::default(),
+            memory_model: MemoryModelKind::default(),
         }
     }
 
@@ -102,6 +104,20 @@ impl SystemConfig {
     #[inline]
     pub fn latency_model(&self) -> LatencyModel {
         self.latency_model
+    }
+
+    /// The same configuration with a different memory-timing backend
+    /// for every tile's shared banks (the memory-fidelity axis).
+    #[must_use]
+    pub fn with_memory_model(mut self, model: MemoryModelKind) -> Self {
+        self.memory_model = model;
+        self
+    }
+
+    /// Which memory-timing backend the tiles' shared banks use.
+    #[inline]
+    pub fn memory_model(&self) -> MemoryModelKind {
+        self.memory_model
     }
 
     /// The tile array.
@@ -324,6 +340,17 @@ mod tests {
         // Only the latency model changes.
         assert_eq!(analytic.total_cores(), cfg.total_cores());
         assert_eq!(analytic.array(), cfg.array());
+    }
+
+    #[test]
+    fn memory_model_defaults_to_fixed() {
+        let cfg = SystemConfig::paper_prototype();
+        assert_eq!(cfg.memory_model(), MemoryModelKind::Fixed);
+        let banked = cfg.with_memory_model(MemoryModelKind::Banked);
+        assert_eq!(banked.memory_model(), MemoryModelKind::Banked);
+        // Only the memory model changes.
+        assert_eq!(banked.latency_model(), cfg.latency_model());
+        assert_eq!(banked.total_cores(), cfg.total_cores());
     }
 
     #[test]

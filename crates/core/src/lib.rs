@@ -41,5 +41,7 @@ mod system;
 pub mod workload;
 
 pub use config::{LatencyModel, SystemConfig};
-pub use machine::{LoadMachineError, MachineStats, MultiTileMachine, RunMachineError};
+pub use machine::{
+    LoadMachineError, MachineStats, MemoryProfile, MultiTileMachine, RunMachineError,
+};
 pub use system::{BootError, BootReport, WaferscaleSystem};

@@ -33,8 +33,8 @@ use wsp_noc::{Fabric, FabricPacket, NetworkChoice, PacketKind, RoutePlanner};
 use wsp_telemetry::{BufferedSink, Histogram, NoopSink, Sink};
 use wsp_tile::{
     memory::{bank_of_offset, GLOBAL_REGION_BYTES},
-    AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState, Crossbar, MemoryChiplet,
-    PendingAccess, StepError, GLOBAL_BASE,
+    AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState, MemTiming, MemoryChiplet,
+    MemoryModel, MemoryModelKind, PendingAccess, StepError, GLOBAL_BASE,
 };
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 
@@ -148,7 +148,11 @@ pub struct MultiTileMachine {
     planner: RoutePlanner,
     cores: Vec<Vec<CoreSim>>,
     memories: Vec<MemoryChiplet>,
-    crossbars: Vec<Crossbar>,
+    /// Per-tile memory-timing backend (the `--memory` fidelity axis).
+    /// Built from [`SystemConfig::memory_model`]; every shared access —
+    /// local, owner-side remote service, analytic — arbitrates through
+    /// it under the execute-then-stall contract.
+    mem_models: Vec<Box<dyn MemoryModel>>,
     pending: Vec<Vec<Option<PendingAccess>>>,
     fabric: Fabric,
     in_flight: HashMap<u64, RemoteOp>,
@@ -177,10 +181,6 @@ pub struct MultiTileMachine {
     /// Cycle each tile last executed its fabric-model step phase; the
     /// sparse scheduler replays `now - last - 1` stall cycles on wake.
     last_stepped: Vec<u64>,
-    /// Cycle each tile's crossbar last ran `begin_cycle` (fabric model);
-    /// lets [`MultiTileMachine::try_service_request`] lazily reset the
-    /// crossbar of a tile the step phase skipped.
-    xbar_cycle: Vec<u64>,
     /// Running cores across the machine — the O(1) `run_until_halt` test.
     running_cores: usize,
     /// Set when [`MultiTileMachine::core_mut`] hands out direct core
@@ -221,7 +221,7 @@ impl MultiTileMachine {
                 .map(|_| (0..cores_per_tile).map(|_| CoreSim::new()).collect())
                 .collect(),
             memories: (0..tiles).map(|_| MemoryChiplet::new()).collect(),
-            crossbars: (0..tiles).map(|_| Crossbar::new()).collect(),
+            mem_models: (0..tiles).map(|_| config.memory_model().build()).collect(),
             pending: (0..tiles).map(|_| vec![None; cores_per_tile]).collect(),
             in_flight: HashMap::new(),
             deferred: VecDeque::new(),
@@ -236,7 +236,6 @@ impl MultiTileMachine {
             live_cores: vec![0; tiles],
             blocked_cores: vec![0; tiles],
             last_stepped: vec![0; tiles],
-            xbar_cycle: vec![0; tiles],
             running_cores: 0,
             liveness_dirty: false,
             runnable_tiles: Histogram::new(),
@@ -461,9 +460,8 @@ impl MultiTileMachine {
     /// tile's crossbar, which may live in any band.
     fn step_tiles_analytic(&mut self) -> Result<(), RunMachineError> {
         let array = self.faults.array();
-        for xbar in &mut self.crossbars {
-            xbar.begin_cycle();
-        }
+        // No per-cycle crossbar reset: the memory models stamp requests
+        // with the absolute cycle and free their ports lazily.
         let sparse = self.stepping == Stepping::Sparse;
         let runnable_now = self
             .live_cores
@@ -551,11 +549,10 @@ impl MultiTileMachine {
                 planner,
                 cores,
                 memories,
-                crossbars,
+                mem_models,
                 pending,
                 live_cores,
                 last_stepped,
-                xbar_cycle,
                 exec,
                 ..
             } = self;
@@ -565,11 +562,10 @@ impl MultiTileMachine {
                 let mut rest = (
                     cores.as_mut_slice(),
                     memories.as_mut_slice(),
-                    crossbars.as_mut_slice(),
+                    mem_models.as_mut_slice(),
                     pending.as_mut_slice(),
                     live_cores.as_mut_slice(),
                     last_stepped.as_mut_slice(),
-                    xbar_cycle.as_mut_slice(),
                 );
                 let mut offset = 0;
                 for band in &bands {
@@ -580,18 +576,16 @@ impl MultiTileMachine {
                     let (p, pt) = rest.3.split_at_mut(take);
                     let (l, lt) = rest.4.split_at_mut(take);
                     let (s, st) = rest.5.split_at_mut(take);
-                    let (xc, xct) = rest.6.split_at_mut(take);
-                    rest = (ct, mt, xt, pt, lt, st, xct);
+                    rest = (ct, mt, xt, pt, lt, st);
                     offset = band.end;
                     shards.push(FabricShard {
                         band: band.clone(),
                         cores: c,
                         memories: m,
-                        crossbars: x,
+                        mem_models: x,
                         pending: p,
                         live: l,
                         last_stepped: s,
-                        xbar_cycle: xc,
                     });
                 }
             }
@@ -692,30 +686,29 @@ impl MultiTileMachine {
 
     /// Performs a delivered request at its owner tile if a bank port is
     /// free this cycle, injecting the response. Returns `false` when the
-    /// crossbar denied the port (retry next cycle).
+    /// memory model denied the port (retry next cycle).
     fn try_service_request(&mut self, packet: &FabricPacket) -> bool {
         let owner_idx = self.faults.array().index_of(packet.dst);
-        // The sparse scheduler may have skipped the owner tile's step
-        // phase this cycle; reset its crossbar lazily so the request
-        // arbitrates against a fresh set of ports. (In the dense sweep
-        // every healthy tile already stamped this cycle, so this no-ops.)
-        if self.xbar_cycle[owner_idx] != self.cycles {
-            self.crossbars[owner_idx].begin_cycle();
-            self.xbar_cycle[owner_idx] = self.cycles;
-        }
         let op = self.in_flight[&packet.id];
         let offset = (op.addr() - GLOBAL_BASE) % GLOBAL_REGION_BYTES as u32;
         // The issuing closure validated range and alignment before the
-        // packet was injected.
-        let bank = self.memories[owner_idx]
+        // packet was injected. Models stamp with the absolute cycle, so
+        // no lazy per-cycle reset is needed even under sparse stepping.
+        self.memories[owner_idx]
             .bank_of(offset)
             .expect("offset validated at issue");
-        if !self.crossbars[owner_idx].request(bank) {
-            self.bank_conflicts += 1;
-            if self.sink.enabled() {
-                self.sink.counter_add("machine.bank_conflicts", 1);
+        match self.mem_models[owner_idx].request(offset, self.cycles) {
+            MemTiming::Denied => {
+                self.bank_conflicts += 1;
+                if self.sink.enabled() {
+                    self.sink.counter_add("machine.bank_conflicts", 1);
+                }
+                return false;
             }
-            return false;
+            // The response is injected immediately on grant; a banked
+            // model prices the access by keeping the bank busy, which
+            // delays *subsequent* requests rather than this reply.
+            MemTiming::Granted { .. } => {}
         }
         let memory = &mut self.memories[owner_idx];
         let value = match op.access {
@@ -778,7 +771,7 @@ impl MultiTileMachine {
             planner,
             cores,
             memories,
-            crossbars,
+            mem_models,
             pending,
             local_accesses,
             remote_accesses,
@@ -791,10 +784,15 @@ impl MultiTileMachine {
         let telemetry_on = sink.enabled();
         let pending_slot = &mut pending[tile_idx][core_idx];
 
+        // Execute-then-stall: a granted access performs inside the
+        // closure (the model mutates exactly once) and parks its extra
+        // latency here; it lands on the core after the step returns.
+        let mut stall = 0u64;
+
         // Take the core out to avoid aliasing the vectors inside the
-        // closure (memories/crossbars of *other* tiles are touched).
+        // closure (memories/models of *other* tiles are touched).
         let core = &mut cores[tile_idx][core_idx];
-        core.step(|access| {
+        let outcome = core.step(|access| {
             let addr = match access {
                 BusAccess::Load { addr }
                 | BusAccess::Store { addr, .. }
@@ -865,15 +863,18 @@ impl MultiTileMachine {
                 }
             }
 
-            // Arbitrate the owner tile's crossbar: local accesses, plus
-            // analytic remote accesses whose network timer expired.
-            let bank = memories[owner_idx].bank_of(offset)?;
-            if !crossbars[owner_idx].request(bank) {
-                *bank_conflicts += 1;
-                if telemetry_on {
-                    sink.counter_add("machine.bank_conflicts", 1);
+            // Arbitrate the owner tile's bank timing: local accesses,
+            // plus analytic remote accesses whose network timer expired.
+            memories[owner_idx].bank_of(offset)?;
+            match mem_models[owner_idx].request(offset, cycles) {
+                MemTiming::Denied => {
+                    *bank_conflicts += 1;
+                    if telemetry_on {
+                        sink.counter_add("machine.bank_conflicts", 1);
+                    }
+                    return Ok(BusGrant::Stalled);
                 }
-                return Ok(BusGrant::Stalled);
+                MemTiming::Granted { stall: extra } => stall = extra,
             }
             if let Some(issued_at) = completing_remote {
                 *pending_slot = None;
@@ -900,8 +901,9 @@ impl MultiTileMachine {
                     Ok(BusGrant::Granted(old))
                 }
             }
-        })
-        .map(|_| ())
+        });
+        cores[tile_idx][core_idx].apply_stall_cycles(stall);
+        outcome.map(|_| ())
     }
 
     /// Steps until every core halts.
@@ -993,6 +995,67 @@ impl MultiTileMachine {
         if self.config.latency_model() == LatencyModel::Fabric {
             self.fabric.export_metrics(sink);
         }
+        // Row-buffer and TLB fidelity counters only exist on stateful
+        // backends; gating keeps fixed-latency output byte-identical to
+        // the pre-trait model.
+        if self.config.memory_model() != MemoryModelKind::Fixed {
+            let profile = self.memory_profile();
+            sink.counter_add("machine.memory.row_hits", profile.row_hits);
+            sink.counter_add("machine.memory.row_misses", profile.row_misses);
+            sink.counter_add("machine.memory.tlb_hits", profile.tlb_hits);
+            sink.counter_add("machine.memory.tlb_misses", profile.tlb_misses);
+            sink.gauge_set("machine.memory.row_hit_rate", profile.row_hit_rate());
+            for model in &self.mem_models {
+                for &busy in &model.bank_busy_cycles() {
+                    sink.histogram_record("machine.memory.bank_busy_cycles", busy);
+                }
+            }
+        }
+    }
+
+    /// Aggregate memory-model counters summed over every tile's backend.
+    pub fn memory_profile(&self) -> MemoryProfile {
+        let mut profile = MemoryProfile::default();
+        for model in &self.mem_models {
+            profile.grants += model.grants();
+            profile.conflicts += model.conflicts();
+            profile.row_hits += model.row_hits();
+            profile.row_misses += model.row_misses();
+            profile.tlb_hits += model.tlb_hits();
+            profile.tlb_misses += model.tlb_misses();
+        }
+        profile
+    }
+}
+
+/// Machine-wide memory-model counters (see
+/// [`wsp_tile::MemoryModel`]); all zeros except `grants`/`conflicts`
+/// under the fixed-latency backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryProfile {
+    /// Accesses granted a bank port.
+    pub grants: u64,
+    /// Accesses denied and retried.
+    pub conflicts: u64,
+    /// Granted accesses that hit an open row.
+    pub row_hits: u64,
+    /// Granted accesses that had to open their row.
+    pub row_misses: u64,
+    /// Granted accesses whose page translation was cached.
+    pub tlb_hits: u64,
+    /// Granted accesses that paid a TLB fill.
+    pub tlb_misses: u64,
+}
+
+impl MemoryProfile {
+    /// Fraction of row-buffer lookups that hit, or 0.0 before any.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
     }
 }
 
@@ -1023,14 +1086,12 @@ struct FabricShard<'a> {
     band: Range<usize>,
     cores: &'a mut [Vec<CoreSim>],
     memories: &'a mut [MemoryChiplet],
-    crossbars: &'a mut [Crossbar],
+    mem_models: &'a mut [Box<dyn MemoryModel>],
     pending: &'a mut [Vec<Option<PendingAccess>>],
     /// Per-tile running-core counts; the band decrements on halt.
     live: &'a mut [u32],
     /// Cycle each tile last ran its step phase (sparse gap replay).
     last_stepped: &'a mut [u64],
-    /// Cycle each tile's crossbar last ran `begin_cycle`.
-    xbar_cycle: &'a mut [u64],
 }
 
 /// A remote access a fabric shard wants injected; the sequential commit
@@ -1104,18 +1165,16 @@ fn step_fabric_band(
         band,
         cores,
         memories,
-        crossbars,
+        mem_models,
         pending,
         live,
         last_stepped,
-        xbar_cycle,
     } = shard;
     for local_t in 0..band.len() {
         let tile_idx = band.start + local_t;
         let tile = array.coord_of(tile_idx);
-        // A faulty tile's crossbar is never arbitrated (its cores never
-        // run and it owns no servable memory), so skipping `begin_cycle`
-        // for it is unobservable.
+        // A faulty tile's memory model is never arbitrated: its cores
+        // never run and it owns no servable memory.
         if faults.is_faulty(tile) {
             continue;
         }
@@ -1138,8 +1197,6 @@ fn step_fabric_band(
             }
         }
         last_stepped[local_t] = cycles;
-        crossbars[local_t].begin_cycle();
-        xbar_cycle[local_t] = cycles;
         for i in 0..cores_per_tile {
             let core_idx = (i + rotate) % cores_per_tile;
             // Identical in both modes: stepping a non-running core is a
@@ -1157,7 +1214,7 @@ fn step_fabric_band(
                 cycles,
                 &mut cores[local_t][core_idx],
                 &mut memories[local_t],
-                &mut crossbars[local_t],
+                mem_models[local_t].as_mut(),
                 &mut pending[local_t][core_idx],
                 out,
             );
@@ -1182,8 +1239,8 @@ fn step_fabric_band(
 }
 
 /// Steps one fabric-model core. Local accesses arbitrate this tile's
-/// crossbar; remote accesses either consume a delivered response, keep
-/// stalling on one in flight, or record an [`InjectIntent`] for the
+/// memory model; remote accesses either consume a delivered response,
+/// keep stalling on one in flight, or record an [`InjectIntent`] for the
 /// commit phase — never touching state outside the shard.
 #[allow(clippy::too_many_arguments)]
 fn step_one_core_fabric(
@@ -1195,12 +1252,13 @@ fn step_one_core_fabric(
     cycles: u64,
     core: &mut CoreSim,
     memory: &mut MemoryChiplet,
-    crossbar: &mut Crossbar,
+    model: &mut dyn MemoryModel,
     pending_slot: &mut Option<PendingAccess>,
     out: &mut ShardOut,
 ) -> Result<CoreState, StepError> {
     let my_tile = array.coord_of(tile_idx);
-    core.step(|access| {
+    let mut stall = 0u64;
+    let outcome = core.step(|access| {
         let addr = match access {
             BusAccess::Load { addr }
             | BusAccess::Store { addr, .. }
@@ -1255,12 +1313,15 @@ fn step_one_core_fabric(
             }
         }
 
-        // Arbitrate this tile's own crossbar for a local access.
-        let bank = memory.bank_of(offset)?;
-        if !crossbar.request(bank) {
-            out.bank_conflicts += 1;
-            out.telemetry.counter_add("machine.bank_conflicts", 1);
-            return Ok(BusGrant::Stalled);
+        // Arbitrate this tile's own memory model for a local access.
+        memory.bank_of(offset)?;
+        match model.request(offset, cycles) {
+            MemTiming::Denied => {
+                out.bank_conflicts += 1;
+                out.telemetry.counter_add("machine.bank_conflicts", 1);
+                return Ok(BusGrant::Stalled);
+            }
+            MemTiming::Granted { stall: extra } => stall = extra,
         }
         out.local_accesses += 1;
         match access {
@@ -1275,7 +1336,9 @@ fn step_one_core_fabric(
                 Ok(BusGrant::Granted(old))
             }
         }
-    })
+    });
+    core.apply_stall_cycles(stall);
+    outcome
 }
 
 impl fmt::Debug for MultiTileMachine {
@@ -1591,6 +1654,31 @@ mod tests {
         }
     }
 
+    /// Loads every core of `tile` with a loop alternating two same-bank
+    /// addresses one row apart: under the banked backend every load is a
+    /// row miss, so the program is maximally sensitive to the memory
+    /// model while computing nothing that depends on it.
+    fn load_row_ping_pong(m: &mut MultiTileMachine, tile: TileCoord) {
+        let near = m.global_address(tile, 0).expect("ok");
+        let far = m.global_address(tile, 8192).expect("ok");
+        let program = Program::builder()
+            .ldi(Reg::R1, near)
+            .ldi(Reg::R2, far)
+            .ldi(Reg::R3, 8)
+            .ldi(Reg::R0, 0)
+            .label("loop")
+            .ld(Reg::R4, Reg::R1, 0)
+            .ld(Reg::R5, Reg::R2, 0)
+            .addi(Reg::R3, Reg::R3, -1)
+            .bne(Reg::R3, Reg::R0, "loop")
+            .halt()
+            .build()
+            .expect("builds");
+        for core in 0..14 {
+            m.load_program(tile, core, &program).expect("ok");
+        }
+    }
+
     #[test]
     fn hotspot_contention_costs_more_than_the_analytic_model() {
         // 15 tiles × 14 cores all load from tile (0,0) at once. The
@@ -1702,6 +1790,79 @@ mod tests {
         let stats = m.run_until_halt(1_000_000).expect("halts");
         assert_eq!(m.read_word(counter).expect("ok"), 14 * 8);
         assert!(stats.bank_conflicts > 0, "no crossbar denials recorded");
+    }
+
+    #[test]
+    fn banked_memory_is_slower_but_architecturally_identical() {
+        // Swapping the timing backend must never change what the
+        // programs compute — only how many cycles they take. The banked
+        // model pays row misses, so the hotspot gets strictly slower;
+        // adding the TLB layer can only slow it further.
+        let hot = TileCoord::new(0, 0);
+        let run = |kind: MemoryModelKind| {
+            let cfg = SystemConfig::with_array(TileArray::new(4, 4)).with_memory_model(kind);
+            let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+            load_hotspot(&mut m, 4, hot);
+            load_row_ping_pong(&mut m, hot);
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            let probe = m.global_address(hot, 0).expect("ok");
+            (stats, m.read_word(probe).expect("ok"), m.memory_profile())
+        };
+        let (fixed, fixed_sum, fixed_profile) = run(MemoryModelKind::Fixed);
+        let (banked, banked_sum, profile) = run(MemoryModelKind::Banked);
+        assert_eq!(banked_sum, fixed_sum, "same architectural result");
+        assert_eq!(banked.retired, fixed.retired, "same instruction stream");
+        assert!(
+            banked.cycles > fixed.cycles,
+            "row misses must cost cycles: banked {} vs fixed {}",
+            banked.cycles,
+            fixed.cycles
+        );
+        assert!(profile.row_misses > 0, "cold rows were opened");
+        assert_eq!(profile.row_hits + profile.row_misses, profile.grants);
+        assert_eq!(
+            fixed_profile.row_hits + fixed_profile.row_misses,
+            0,
+            "the fixed backend models no rows"
+        );
+        let (tlb, tlb_sum, tlb_profile) = run(MemoryModelKind::BankedTlb);
+        assert_eq!(tlb_sum, fixed_sum, "same architectural result");
+        assert!(tlb.cycles >= banked.cycles, "TLB fills only add latency");
+        assert!(tlb_profile.tlb_misses > 0, "cold pages were filled");
+    }
+
+    #[test]
+    fn banked_memory_is_bit_identical_across_stepping_and_threads() {
+        // The determinism claim must survive a stateful backend: busy
+        // windows are stamped with absolute cycles, so the sparse walk
+        // and every shard count observe the same grant sequence.
+        let hot = TileCoord::new(0, 0);
+        let run = |stepping: Stepping, threads: usize| {
+            let cfg = SystemConfig::with_array(TileArray::new(4, 4))
+                .with_memory_model(MemoryModelKind::Banked);
+            let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+            m.set_stepping(stepping);
+            m.set_threads(threads);
+            load_hotspot(&mut m, 4, hot);
+            load_row_ping_pong(&mut m, hot);
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            let probe = m.global_address(hot, 0).expect("ok");
+            (
+                stats,
+                m.read_word(probe).expect("ok"),
+                m.per_tile_activity(),
+                m.memory_profile(),
+            )
+        };
+        let baseline = run(Stepping::Dense, 1);
+        for threads in [1, 8] {
+            assert_eq!(
+                run(Stepping::Sparse, threads),
+                baseline,
+                "sparse, threads = {threads}"
+            );
+        }
+        assert_eq!(run(Stepping::Dense, 8), baseline, "dense, threads = 8");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub fn run_bfs(
     let owner_of = |v: usize| placement.owner_of(v);
     let planner = system.route_planner();
     let cores = system.config().cores_per_tile() as u64;
+    let mut mem = crate::workload::MemorySim::new(system.config().memory_model());
 
     let mut dist = vec![u32::MAX; n];
     dist[source] = 0;
@@ -65,6 +66,9 @@ pub fn run_bfs(
         edges_relaxed: 0,
         remote_messages: 0,
         vertices_reached: 1,
+        mem_stall_cycles: 0,
+        row_hits: 0,
+        row_misses: 0,
     };
 
     while !frontier.is_empty() {
@@ -85,6 +89,9 @@ pub fn run_bfs(
             report.edges_relaxed += graph.degree(v) as u64;
             for (nb, _) in graph.neighbors(v) {
                 let nb = nb as usize;
+                // The edge scan reads the neighbour's level word from
+                // shared memory whether or not it improves.
+                mem.access(src_tile, nb as u64);
                 if dist[nb] != u32::MAX {
                     continue;
                 }
@@ -134,11 +141,16 @@ pub fn run_bfs(
             .map(|m| m * CYCLES_PER_MESSAGE)
             .max()
             .unwrap_or(0);
-        report.cycles += compute + inject + max_hop_latency;
+        let mem_stall = mem.superstep_stall();
+        report.mem_stall_cycles += mem_stall;
+        report.cycles += compute + inject + max_hop_latency + mem_stall;
 
         frontier = next;
     }
 
+    let profile = mem.profile();
+    report.row_hits = profile.row_hits;
+    report.row_misses = profile.row_misses;
     Ok((dist, report))
 }
 
@@ -211,6 +223,32 @@ mod tests {
             large.cycles,
             small.cycles
         );
+    }
+
+    #[test]
+    fn banked_memory_slows_the_kernel_without_changing_answers() {
+        use wsp_tile::MemoryModelKind;
+        let mut rng = seeded_rng(15);
+        let graph = Graph::generate(GraphKind::UniformRandom { avg_degree: 8 }, 500, &mut rng);
+        let run = |kind: MemoryModelKind| {
+            let cfg = SystemConfig::with_array(TileArray::new(4, 4)).with_memory_model(kind);
+            let system = WaferscaleSystem::with_faults(cfg, FaultMap::none(cfg.array()));
+            run_bfs(&system, &graph, 0).expect("runs")
+        };
+        let (dist_fixed, fixed) = run(MemoryModelKind::Fixed);
+        let (dist_banked, banked) = run(MemoryModelKind::Banked);
+        let (dist_tlb, tlb) = run(MemoryModelKind::BankedTlb);
+        assert_eq!(dist_banked, dist_fixed, "timing must not change answers");
+        assert_eq!(dist_tlb, dist_fixed, "timing must not change answers");
+        assert_eq!(fixed.mem_stall_cycles, 0, "fixed charges nothing extra");
+        assert_eq!(fixed.row_hits + fixed.row_misses, 0);
+        assert!(banked.mem_stall_cycles > 0, "random scans miss rows");
+        assert!(banked.row_misses > 0);
+        // The memory term is purely additive on top of the fixed cost.
+        assert_eq!(banked.cycles - banked.mem_stall_cycles, fixed.cycles);
+        assert!(tlb.cycles >= banked.cycles, "TLB fills only add latency");
+        let rate = banked.row_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! all build the same machine so their numbers are comparable).
 
 use wsp_tile::isa::{Program, Reg};
+use wsp_tile::MemoryModelKind;
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 
 use crate::config::{LatencyModel, SystemConfig};
@@ -23,8 +24,20 @@ pub const HALO_WORDS: u32 = 8;
 ///
 /// Panics if `n == 0` (an empty array has no tiles to load).
 pub fn build_halo_machine(n: u16, threads: usize) -> MultiTileMachine {
+    build_halo_machine_with_memory(n, threads, MemoryModelKind::Fixed)
+}
+
+/// [`build_halo_machine`] with an explicit memory backend — the
+/// machine-layer arm of the memory-fidelity sweep.
+pub fn build_halo_machine_with_memory(
+    n: u16,
+    threads: usize,
+    memory: MemoryModelKind,
+) -> MultiTileMachine {
     let array = TileArray::new(n, n);
-    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
+    let cfg = SystemConfig::with_array(array)
+        .with_latency_model(LatencyModel::Fabric)
+        .with_memory_model(memory);
     let mut m = MultiTileMachine::new(cfg, FaultMap::none(array));
     m.set_threads(threads);
     for y in 0..n {

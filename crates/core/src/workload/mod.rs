@@ -21,7 +21,7 @@ mod stencil;
 
 pub use bfs::run_bfs;
 pub use graph::{Graph, GraphKind};
-pub use halo::{build_halo_machine, HALO_WORDS};
+pub use halo::{build_halo_machine, build_halo_machine_with_memory, HALO_WORDS};
 pub use pagerank::{reference_pagerank, run_pagerank};
 pub use sssp::run_sssp;
 pub use stencil::{run_stencil, StencilGrid};
@@ -33,9 +33,12 @@ use serde::{Deserialize, Serialize};
 use wsp_common::units::Seconds;
 
 use wsp_common::units::Amps;
+use wsp_tile::memory::GLOBAL_REGION_BYTES;
+use wsp_tile::{MemTiming, MemoryModel, MemoryModelKind};
 use wsp_topo::{FaultMap, TileCoord};
 
 use crate::config::SystemConfig;
+use crate::machine::MemoryProfile;
 use crate::system::WaferscaleSystem;
 
 /// Cycles a core spends per edge relaxation (load, compare, store).
@@ -185,6 +188,93 @@ pub fn activity_power_map(system: &WaferscaleSystem, graph: &Graph) -> Vec<Amps>
         .collect()
 }
 
+/// Per-tile memory timing for the analytic graph kernels.
+///
+/// Each tile runs its superstep's edge-scan access stream *serially*
+/// through one instance of the configured [`MemoryModel`], following the
+/// execute-then-stall contract: every access presents once, and only the
+/// granted stall joins the superstep's critical path. Under
+/// [`MemoryModelKind::Fixed`] the stream is skipped outright — the fixed
+/// backend charges nothing beyond the port the analytic model already
+/// prices, so the kernels' cycle counts are bit-identical to the
+/// pre-trait model by construction.
+pub(crate) struct MemorySim {
+    kind: MemoryModelKind,
+    tiles: std::collections::HashMap<TileCoord, TileMem>,
+}
+
+struct TileMem {
+    model: Box<dyn MemoryModel>,
+    /// The tile's private access clock; advances one port slot per
+    /// grant plus whatever the model stalled.
+    clock: u64,
+    /// Stall cycles charged since the last superstep barrier.
+    step_stalls: u64,
+}
+
+impl MemorySim {
+    pub(crate) fn new(kind: MemoryModelKind) -> Self {
+        MemorySim {
+            kind,
+            tiles: std::collections::HashMap::new(),
+        }
+    }
+
+    /// One shared-memory touch by `tile` on the word holding vertex
+    /// state `word` (vertex ids map onto the owner's global region
+    /// word-interleaved, like every other shared structure).
+    pub(crate) fn access(&mut self, tile: TileCoord, word: u64) {
+        if self.kind == MemoryModelKind::Fixed {
+            return;
+        }
+        let kind = self.kind;
+        let mem = self.tiles.entry(tile).or_insert_with(|| TileMem {
+            model: kind.build(),
+            clock: 0,
+            step_stalls: 0,
+        });
+        let offset = ((word * 4) % GLOBAL_REGION_BYTES as u64) as u32;
+        loop {
+            match mem.model.request(offset, mem.clock) {
+                MemTiming::Granted { stall } => {
+                    mem.clock += 1 + stall;
+                    mem.step_stalls += stall;
+                    return;
+                }
+                // Unreachable on a serial stream (the clock never
+                // revisits a busy window), but harmless: retry next slot.
+                MemTiming::Denied => mem.clock += 1,
+            }
+        }
+    }
+
+    /// Ends a superstep: the slowest tile's accumulated stall (the
+    /// level-synchronous barrier waits for it), resetting the per-step
+    /// accumulators.
+    pub(crate) fn superstep_stall(&mut self) -> u64 {
+        let mut worst = 0;
+        for mem in self.tiles.values_mut() {
+            worst = worst.max(mem.step_stalls);
+            mem.step_stalls = 0;
+        }
+        worst
+    }
+
+    /// Aggregate model counters over every tile touched so far.
+    pub(crate) fn profile(&self) -> MemoryProfile {
+        let mut profile = MemoryProfile::default();
+        for mem in self.tiles.values() {
+            profile.grants += mem.model.grants();
+            profile.conflicts += mem.model.conflicts();
+            profile.row_hits += mem.model.row_hits();
+            profile.row_misses += mem.model.row_misses();
+            profile.tlb_hits += mem.model.tlb_hits();
+            profile.tlb_misses += mem.model.tlb_misses();
+        }
+        profile
+    }
+}
+
 /// Execution report of one distributed kernel run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadReport {
@@ -198,9 +288,31 @@ pub struct WorkloadReport {
     pub remote_messages: u64,
     /// Vertices the kernel reached.
     pub vertices_reached: usize,
+    /// Cycles the memory backend charged beyond the fixed-latency
+    /// baseline — already included in `cycles`; zero under
+    /// [`MemoryModelKind::Fixed`].
+    #[serde(default)]
+    pub mem_stall_cycles: u64,
+    /// Row-buffer hits observed by a banked backend (zero under fixed).
+    #[serde(default)]
+    pub row_hits: u64,
+    /// Row-buffer misses observed by a banked backend (zero under fixed).
+    #[serde(default)]
+    pub row_misses: u64,
 }
 
 impl WorkloadReport {
+    /// Fraction of row-buffer lookups that hit, or 0.0 when the backend
+    /// models no rows.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
     /// Wall-clock time at the nominal frequency of `config`.
     pub fn wall_time(&self, config: &SystemConfig) -> Seconds {
         Seconds(self.cycles as f64 / config.frequency().value())

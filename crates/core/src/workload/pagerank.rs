@@ -97,10 +97,15 @@ pub fn run_pagerank(
     let mut msgs_by_tile = vec![0u64; array.tile_count()];
     let mut max_latency = 0u64;
     let mut remote_messages = 0u64;
+    let mut mem = crate::workload::MemorySim::new(system.config().memory_model());
     for v in 0..graph.vertex_count() {
         let src = owner_of(v);
         edges_by_tile[array.index_of(src)] += graph.degree(v) as u64;
         for (dst, _) in graph.neighbors(v) {
+            // Each contribution reads the neighbour's rank word; the
+            // traffic pattern repeats identically every iteration, so
+            // one simulated sweep prices them all.
+            mem.access(src, u64::from(dst));
             let dst_tile = owner_of(dst as usize);
             if dst_tile == src {
                 continue;
@@ -137,7 +142,9 @@ pub fn run_pagerank(
         .map(|m| m * CYCLES_PER_MESSAGE)
         .max()
         .unwrap_or(0);
-    let step_cycles = compute + inject + max_latency;
+    let mem_stall = mem.superstep_stall();
+    let step_cycles = compute + inject + max_latency + mem_stall;
+    let profile = mem.profile();
 
     let ranks = reference_pagerank(graph, iterations);
     Ok((
@@ -148,6 +155,9 @@ pub fn run_pagerank(
             edges_relaxed: graph.edge_count() as u64 * u64::from(iterations),
             remote_messages: remote_messages * u64::from(iterations),
             vertices_reached: graph.vertex_count(),
+            mem_stall_cycles: mem_stall * u64::from(iterations),
+            row_hits: profile.row_hits * u64::from(iterations),
+            row_misses: profile.row_misses * u64::from(iterations),
         },
     ))
 }

@@ -53,6 +53,7 @@ pub fn run_sssp(
     let owner_of = |v: usize| placement.owner_of(v);
     let planner = system.route_planner();
     let cores = system.config().cores_per_tile() as u64;
+    let mut mem = crate::workload::MemorySim::new(system.config().memory_model());
 
     let mut dist = vec![u64::MAX; n];
     dist[source] = 0;
@@ -64,6 +65,9 @@ pub fn run_sssp(
         edges_relaxed: 0,
         remote_messages: 0,
         vertices_reached: 1,
+        mem_stall_cycles: 0,
+        row_hits: 0,
+        row_misses: 0,
     };
 
     while !active.is_empty() {
@@ -83,6 +87,9 @@ pub fn run_sssp(
             let dv = dist[v];
             for (nb, w) in graph.neighbors(v) {
                 let nb = nb as usize;
+                // The relaxation reads the neighbour's distance word
+                // from shared memory whether or not it improves.
+                mem.access(src_tile, nb as u64);
                 let candidate = dv + u64::from(w);
                 if candidate >= dist[nb] {
                     continue;
@@ -134,11 +141,16 @@ pub fn run_sssp(
             .map(|m| m * CYCLES_PER_MESSAGE)
             .max()
             .unwrap_or(0);
-        report.cycles += compute + inject + max_hop_latency;
+        let mem_stall = mem.superstep_stall();
+        report.mem_stall_cycles += mem_stall;
+        report.cycles += compute + inject + max_hop_latency + mem_stall;
 
         active = improved;
     }
 
+    let profile = mem.profile();
+    report.row_hits = profile.row_hits;
+    report.row_misses = profile.row_misses;
     Ok((dist, report))
 }
 

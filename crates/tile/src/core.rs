@@ -160,6 +160,11 @@ pub struct CoreSim {
     sram: Vec<u8>,
     state: CoreState,
     stats: CoreStats,
+    /// Remaining cycles the pipeline is frozen by an already-performed
+    /// shared access (the execute-then-stall idiom). The cycles were
+    /// accounted up front by [`CoreSim::apply_stall_cycles`]; `step`
+    /// only drains the freeze.
+    stall_pending: u64,
 }
 
 impl CoreSim {
@@ -173,6 +178,7 @@ impl CoreSim {
             sram: vec![0; PRIVATE_SRAM_BYTES],
             state: CoreState::Halted,
             stats: CoreStats::default(),
+            stall_pending: 0,
         }
     }
 
@@ -222,6 +228,26 @@ impl CoreSim {
         self.stats.stall_cycles += cycles;
     }
 
+    /// Applies the stall a memory model returned for an access that
+    /// already performed this cycle (the execute-then-stall idiom): the
+    /// model mutated exactly once, so the whole cost is absorbed up
+    /// front through [`CoreSim::absorb_stall_cycles`] and the pipeline
+    /// stays frozen for the same number of subsequent [`CoreSim::step`]
+    /// calls — without the access ever being re-presented.
+    pub fn apply_stall_cycles(&mut self, cycles: u64) {
+        if cycles == 0 || self.state != CoreState::Running {
+            return;
+        }
+        self.absorb_stall_cycles(cycles);
+        self.stall_pending += cycles;
+    }
+
+    /// Remaining frozen cycles from [`CoreSim::apply_stall_cycles`].
+    #[inline]
+    pub fn stall_pending(&self) -> u64 {
+        self.stall_pending
+    }
+
     /// Reads a word from private SRAM (for test setup / result readout).
     ///
     /// # Errors
@@ -264,6 +290,12 @@ impl CoreSim {
     {
         if self.state != CoreState::Running {
             return Ok(self.state);
+        }
+        if self.stall_pending > 0 {
+            // Cycle and stall already accounted by `apply_stall_cycles`;
+            // just drain the freeze without touching the instruction.
+            self.stall_pending -= 1;
+            return Ok(CoreState::Running);
         }
         self.stats.cycles += 1;
 
@@ -721,5 +753,51 @@ mod tests {
     fn error_display() {
         let e = StepError::PcOutOfRange { pc: 42 };
         assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn apply_stall_cycles_accounts_up_front_and_freezes_the_pipeline() {
+        let program = Program::builder()
+            .ldi(Reg::R1, 1)
+            .ldi(Reg::R2, 2)
+            .halt()
+            .build()
+            .expect("builds");
+        let mut core = CoreSim::new();
+        core.load_program(&program);
+        core.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        assert_eq!(core.stats().retired, 1);
+        // An already-performed access reports 3 extra cycles: they are
+        // all accounted immediately…
+        core.apply_stall_cycles(3);
+        let frozen = core.stats();
+        assert_eq!(frozen.cycles, 1 + 3);
+        assert_eq!(frozen.stall_cycles, 3);
+        assert_eq!(core.stall_pending(), 3);
+        // …and the next 3 steps drain the freeze without executing or
+        // double-counting anything.
+        for expected_left in [2u64, 1, 0] {
+            assert_eq!(
+                core.step(|_| Ok(BusGrant::Stalled)).expect("steps"),
+                CoreState::Running
+            );
+            assert_eq!(core.stall_pending(), expected_left);
+            assert_eq!(core.stats(), frozen, "frozen steps must not account");
+            assert_eq!(core.stats().retired, 1);
+        }
+        // The pipeline thaws: the second ldi executes on the next step.
+        core.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        assert_eq!(core.reg(Reg::R2), 2);
+        assert_eq!(core.stats().retired, 2);
+        assert_eq!(core.stats().cycles, 5);
+    }
+
+    #[test]
+    fn apply_stall_cycles_of_zero_is_free() {
+        let mut core = CoreSim::new();
+        core.load_program(&Program::builder().halt().build().expect("builds"));
+        core.apply_stall_cycles(0);
+        assert_eq!(core.stats(), CoreStats::default());
+        assert_eq!(core.stall_pending(), 0);
     }
 }

@@ -41,11 +41,15 @@ pub mod core;
 pub mod crossbar;
 pub mod isa;
 pub mod memory;
+pub mod memory_model;
 mod tile;
 
 pub use crate::core::{BusAccess, BusGrant, CoreSim, CoreState, PendingAccess, StepError};
 pub use crate::crossbar::Crossbar;
 pub use crate::memory::{AccessMemoryError, MemoryChiplet};
+pub use crate::memory_model::{
+    BankedRowBuffer, FixedLatency, MemTiming, MemoryModel, MemoryModelKind, PAddr, Tlb, VAddr,
+};
 pub use crate::tile::{LoadProgramError, RunTileError, Tile, TileStats};
 
 /// Base of the globally shared address space as seen by a core. Addresses

@@ -25,6 +25,10 @@ pub const GLOBAL_REGION_BYTES: usize = GLOBAL_BANKS * BANK_BYTES;
 /// Total capacity of the memory chiplet (640 KB).
 pub const TOTAL_BYTES: usize = BANK_COUNT * BANK_BYTES;
 
+/// Bytes per SRAM row (the row-buffer granule of the banked timing
+/// model): 2 KiB, i.e. 512 words and 64 rows per 128 KB bank.
+pub const ROW_BYTES: usize = 2048;
+
 /// The bank a tile-local offset maps to, as pure offset arithmetic:
 /// global offsets word-interleave across banks 0–3, local offsets go to
 /// bank 4.
@@ -39,6 +43,18 @@ pub const TOTAL_BYTES: usize = BANK_COUNT * BANK_BYTES;
 /// Returns an error for misaligned or out-of-range offsets.
 pub fn bank_of_offset(offset: u32) -> Result<usize, AccessMemoryError> {
     locate(offset).map(|(bank, _)| bank)
+}
+
+/// Maps an offset to `(bank, row-within-bank)` for row-buffer timing
+/// models. The row index is the byte-within-bank address divided by
+/// [`ROW_BYTES`], so word-interleaved streaming walks each global
+/// bank's rows in lockstep.
+///
+/// # Errors
+///
+/// Returns an error for misaligned or out-of-range offsets.
+pub fn bank_row_of_offset(offset: u32) -> Result<(usize, u32), AccessMemoryError> {
+    locate(offset).map(|(bank, byte)| (bank, (byte / ROW_BYTES) as u32))
 }
 
 /// Maps an offset to `(bank, byte-within-bank)`.
@@ -229,6 +245,87 @@ mod tests {
                 addr: TOTAL_BYTES as u32
             })
         );
+    }
+
+    #[test]
+    fn global_local_boundary_is_exact() {
+        // The 512 KiB boundary: the last global word belongs to an
+        // interleaved bank, the first local word to bank 4, and the
+        // word straddling the boundary cannot exist (aligned stride).
+        let last_global = GLOBAL_REGION_BYTES as u32 - 4;
+        let word = (last_global / 4) as usize;
+        assert_eq!(bank_of_offset(last_global), Ok(word % GLOBAL_BANKS));
+        assert_eq!(bank_of_offset(GLOBAL_REGION_BYTES as u32), Ok(GLOBAL_BANKS));
+        // One word below the boundary lands in the final row of its
+        // global bank; one at the boundary in row 0 of the local bank.
+        let (bank, row) = bank_row_of_offset(last_global).expect("ok");
+        assert!(bank < GLOBAL_BANKS);
+        assert_eq!(row as usize, BANK_BYTES / ROW_BYTES - 1);
+        assert_eq!(
+            bank_row_of_offset(GLOBAL_REGION_BYTES as u32),
+            Ok((GLOBAL_BANKS, 0))
+        );
+    }
+
+    #[test]
+    fn last_valid_word_of_local_bank() {
+        let last = TOTAL_BYTES as u32 - 4;
+        assert_eq!(bank_of_offset(last), Ok(GLOBAL_BANKS));
+        let (bank, row) = bank_row_of_offset(last).expect("ok");
+        assert_eq!(bank, GLOBAL_BANKS);
+        assert_eq!(row as usize, BANK_BYTES / ROW_BYTES - 1);
+        // The very next word is the first invalid one.
+        assert_eq!(
+            bank_of_offset(TOTAL_BYTES as u32),
+            Err(AccessMemoryError::OutOfRange {
+                addr: TOTAL_BYTES as u32
+            })
+        );
+    }
+
+    #[test]
+    fn unaligned_offsets_rejected_everywhere() {
+        for offset in [1u32, 2, 3, GLOBAL_REGION_BYTES as u32 + 2, 0xFFFF_FFFD] {
+            assert_eq!(
+                bank_of_offset(offset),
+                Err(AccessMemoryError::Misaligned { addr: offset }),
+                "{offset:#x}"
+            );
+            assert_eq!(
+                bank_row_of_offset(offset),
+                Err(AccessMemoryError::Misaligned { addr: offset }),
+                "{offset:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_error_path_is_aligned_aware() {
+        // Aligned but beyond the chiplet: OutOfRange, not Misaligned.
+        for offset in [TOTAL_BYTES as u32, TOTAL_BYTES as u32 + 4, 0xFFFF_FFFC] {
+            assert_eq!(
+                bank_row_of_offset(offset),
+                Err(AccessMemoryError::OutOfRange { addr: offset }),
+                "{offset:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_advance_in_lockstep_across_interleaved_banks() {
+        // Word-interleaving: 4 consecutive words hit banks 0..4, all in
+        // the same row; a full row's worth of stride-4 words later, the
+        // row index advances on every bank.
+        for w in 0..4u32 {
+            assert_eq!(bank_row_of_offset(w * 4), Ok((w as usize, 0)));
+        }
+        let words_per_row_group = (GLOBAL_BANKS * ROW_BYTES / 4) as u32;
+        for w in 0..4u32 {
+            assert_eq!(
+                bank_row_of_offset((words_per_row_group + w) * 4),
+                Ok((w as usize, 1))
+            );
+        }
     }
 
     #[test]

@@ -4,9 +4,9 @@ use std::error::Error;
 use std::fmt;
 
 use crate::core::{BusAccess, BusGrant, CoreSim, CoreState, StepError};
-use crate::crossbar::Crossbar;
 use crate::isa::Program;
 use crate::memory::{AccessMemoryError, MemoryChiplet, TOTAL_BYTES};
+use crate::memory_model::{MemTiming, MemoryModel, MemoryModelKind};
 use crate::{CORES_PER_TILE, GLOBAL_BASE};
 
 /// Aggregate execution statistics of a tile.
@@ -18,7 +18,7 @@ pub struct TileStats {
     pub retired: u64,
     /// Shared-memory accesses granted.
     pub shared_accesses: u64,
-    /// Crossbar conflicts (denied bank requests).
+    /// Denied bank requests (crossbar conflicts and busy windows).
     pub bank_conflicts: u64,
 }
 
@@ -37,21 +37,33 @@ pub struct TileStats {
 pub struct Tile {
     cores: Vec<CoreSim>,
     memory: MemoryChiplet,
-    crossbar: Crossbar,
+    memory_model: Box<dyn MemoryModel>,
     cycles: u64,
     rotate: usize,
 }
 
 impl Tile {
-    /// Creates a tile with 14 idle cores and zeroed memory.
+    /// Creates a tile with 14 idle cores, zeroed memory, and the
+    /// fixed-latency (paper) memory model.
     pub fn new() -> Self {
+        Tile::with_memory_model(MemoryModelKind::Fixed)
+    }
+
+    /// Creates a tile with the given memory-timing backend.
+    pub fn with_memory_model(kind: MemoryModelKind) -> Self {
         Tile {
             cores: (0..CORES_PER_TILE).map(|_| CoreSim::new()).collect(),
             memory: MemoryChiplet::new(),
-            crossbar: Crossbar::new(),
+            memory_model: kind.build(),
             cycles: 0,
             rotate: 0,
         }
+    }
+
+    /// The memory-timing backend (counters: grants, conflicts, row
+    /// hits/misses).
+    pub fn memory_model(&self) -> &dyn MemoryModel {
+        self.memory_model.as_ref()
     }
 
     /// Access to a core (for register setup / inspection).
@@ -125,17 +137,19 @@ impl Tile {
     /// identified in the error).
     pub fn step(&mut self) -> Result<(), RunTileError> {
         self.cycles += 1;
-        self.crossbar.begin_cycle();
+        let now = self.cycles;
         let n = self.cores.len();
         for i in 0..n {
             let idx = (i + self.rotate) % n;
-            // Split borrows: the closure needs the memory and crossbar but
-            // not the core vector.
+            // Split borrows: the closure needs the memory and its timing
+            // model but not the core vector.
             let memory = &mut self.memory;
-            let crossbar = &mut self.crossbar;
+            let model = self.memory_model.as_mut();
             let core = &mut self.cores[idx];
-            core.step(|access| service_shared(memory, crossbar, access))
+            let mut stall = 0u64;
+            core.step(|access| service_shared(memory, model, now, &mut stall, access))
                 .map_err(|source| RunTileError::CoreFault { core: idx, source })?;
+            core.apply_stall_cycles(stall);
         }
         self.rotate = (self.rotate + 1) % n;
         Ok(())
@@ -164,7 +178,7 @@ impl Tile {
             cycles: self.cycles,
             retired: self.cores.iter().map(|c| c.stats().retired).sum(),
             shared_accesses: self.cores.iter().map(|c| c.stats().shared_accesses).sum(),
-            bank_conflicts: self.crossbar.conflicts(),
+            bank_conflicts: self.memory_model.conflicts(),
         }
     }
 }
@@ -176,9 +190,16 @@ impl Default for Tile {
 }
 
 /// Services one shared-memory access against the tile's own banks.
+///
+/// Execute-then-stall: the model is presented exactly once; on a grant
+/// the data access performs immediately and any extra latency lands in
+/// `*stall_out` for the caller to apply via
+/// [`CoreSim::apply_stall_cycles`].
 fn service_shared(
     memory: &mut MemoryChiplet,
-    crossbar: &mut Crossbar,
+    model: &mut dyn MemoryModel,
+    now: u64,
+    stall_out: &mut u64,
     access: BusAccess,
 ) -> Result<BusGrant, AccessMemoryError> {
     let addr = match access {
@@ -190,9 +211,10 @@ fn service_shared(
     if offset as usize >= TOTAL_BYTES {
         return Err(AccessMemoryError::OutOfRange { addr });
     }
-    let bank = memory.bank_of(offset)?;
-    if !crossbar.request(bank) {
-        return Ok(BusGrant::Stalled);
+    memory.bank_of(offset)?;
+    match model.request(offset, now) {
+        MemTiming::Denied => return Ok(BusGrant::Stalled),
+        MemTiming::Granted { stall } => *stall_out = stall,
     }
     match access {
         BusAccess::Load { .. } => Ok(BusGrant::Granted(memory.read_word(offset)?)),
@@ -201,7 +223,7 @@ fn service_shared(
             Ok(BusGrant::Granted(0))
         }
         BusAccess::AmoAdd { value, .. } => {
-            // One crossbar grant covers the whole read-modify-write: the
+            // One bank grant covers the whole read-modify-write: the
             // bank port is the serialisation point.
             let old = memory.read_word(offset)?;
             memory.write_word(offset, old.wrapping_add(value))?;
@@ -449,6 +471,39 @@ mod tests {
         assert_eq!(
             tile.load_program(14, &p).expect_err("bad core"),
             LoadProgramError::NoSuchCore { core: 14 }
+        );
+    }
+
+    #[test]
+    fn banked_model_is_slower_but_architecturally_identical() {
+        use crate::memory_model::MemoryModelKind;
+
+        let mut fixed = Tile::new();
+        let mut banked = Tile::with_memory_model(MemoryModelKind::Banked);
+        for tile in [&mut fixed, &mut banked] {
+            for core in 0..CORES_PER_TILE {
+                let offset = (core as u32) * 16; // all bank 0
+                tile.load_program(core, &accumulate_program(offset, core as u32 + 1))
+                    .expect("ok");
+            }
+        }
+        let fixed_stats = fixed.run_until_halt(100_000).expect("halts");
+        let banked_stats = banked.run_until_halt(100_000).expect("halts");
+        // Same architectural result…
+        for core in 0..CORES_PER_TILE {
+            assert_eq!(
+                banked.read_shared_word((core as u32) * 16).expect("ok"),
+                fixed.read_shared_word((core as u32) * 16).expect("ok"),
+            );
+        }
+        assert_eq!(banked_stats.retired, fixed_stats.retired);
+        // …but row misses make the banked run strictly slower.
+        assert!(banked_stats.cycles > fixed_stats.cycles);
+        let model = banked.memory_model();
+        assert!(model.row_misses() > 0);
+        assert_eq!(
+            model.row_hits() + model.row_misses(),
+            banked_stats.shared_accesses
         );
     }
 

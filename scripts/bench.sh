@@ -12,7 +12,9 @@
 #
 # Artefacts land in the repo root:
 #   BENCH_noc.json       fig7_network  (NoC request/response metrics)
-#   BENCH_machine.json   workloads     (kernel + traced-stencil metrics)
+#   BENCH_machine.json   workloads     (kernel + traced-stencil metrics;
+#                                       full runs add the machine.memory.*
+#                                       row-buffer fidelity sweep)
 #   BENCH_pdn.json       fig2_droop    (IR-drop / SOR-solver metrics)
 #   TRACE_machine.json   workloads     (Chrome trace: machine, fabric,
 #                                       pdn, clock, and dft spans —

@@ -19,29 +19,48 @@ cargo test -q
 echo "==> bench smoke (BENCH_*.json present and well-formed)"
 ./scripts/bench.sh --smoke
 
-echo "==> determinism gate (fig7_network smoke JSON, {dense,sparse} x {1,8} threads)"
-# The parallel backend and the sparse active-set scheduler must both be
-# bit-identical to the sequential dense sweep: the smoke JSON (which
-# carries only deterministic metrics, no wall-clock gauges) has to match
-# byte for byte across thread counts AND stepping modes.
+echo "==> determinism gate (smoke JSON vs tests/golden, {dense,sparse} x {1,8} threads)"
+# Two claims at once: (1) the parallel backend and the sparse active-set
+# scheduler are bit-identical to the sequential dense sweep, and (2) the
+# default fixed-latency memory backend is byte-identical to the
+# pre-MemoryModel-refactor seed output committed under tests/golden/.
+# The smoke JSON carries only deterministic metrics (no wall-clock
+# gauges), so every run must match the golden file byte for byte.
+# Refresh the goldens with WSP_UPDATE_GOLDEN=1 after an intentional
+# metrics change.
 DET_DIR="$(mktemp -d)"
 trap 'rm -rf "$DET_DIR"' EXIT
-baseline="$DET_DIR/dense-t1.json"
-target/release/fig7_network --smoke --stepping dense --threads 1 --json "$baseline" >/dev/null
-for stepping in dense sparse; do
-    for threads in 1 8; do
-        out="$DET_DIR/$stepping-t$threads.json"
-        if [ "$out" != "$baseline" ]; then
-            target/release/fig7_network --smoke --stepping "$stepping" --threads "$threads" \
+if [ "${WSP_UPDATE_GOLDEN:-0}" = "1" ]; then
+    target/release/fig7_network --smoke --stepping dense --threads 1 \
+        --json tests/golden/fig7_network_smoke.json >/dev/null
+    target/release/workloads --smoke --stepping dense --threads 1 \
+        --json tests/golden/workloads_smoke.json >/dev/null
+    echo "    refreshed tests/golden/*.json"
+fi
+for bin in fig7_network workloads; do
+    golden="tests/golden/${bin}_smoke.json"
+    for stepping in dense sparse; do
+        for threads in 1 8; do
+            out="$DET_DIR/$bin-$stepping-t$threads.json"
+            target/release/"$bin" --smoke --stepping "$stepping" --threads "$threads" \
                 --json "$out" >/dev/null
-        fi
-        if ! cmp -s "$baseline" "$out"; then
-            echo "FAIL: fig7_network smoke JSON differs: dense/1 vs $stepping/$threads" >&2
-            diff "$baseline" "$out" >&2 || true
-            exit 1
-        fi
+            if ! cmp -s "$golden" "$out"; then
+                echo "FAIL: $bin smoke JSON differs from $golden at $stepping/$threads" >&2
+                diff "$golden" "$out" >&2 || true
+                exit 1
+            fi
+        done
     done
 done
-echo "    byte-identical across stepping modes and thread counts"
+echo "    byte-identical to the goldens across stepping modes and thread counts"
+
+echo "==> banked memory smoke (--memory banked answers stay correct)"
+target/release/workloads --smoke --memory banked > "$DET_DIR/banked.txt"
+if grep -q "| false" "$DET_DIR/banked.txt"; then
+    echo "FAIL: banked-memory smoke run reported an incorrect kernel answer" >&2
+    grep "| false" "$DET_DIR/banked.txt" >&2
+    exit 1
+fi
+echo "    banked backend runs clean"
 
 echo "All checks passed."

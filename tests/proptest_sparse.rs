@@ -11,6 +11,7 @@ use wsp_common::parallel::Stepping;
 use wsp_common::seeded_rng;
 use wsp_noc::{NocSim, SimConfig, TrafficPattern};
 use wsp_tile::isa::{Program, Reg};
+use wsp_tile::MemoryModelKind;
 use wsp_topo::{FaultMap, TileArray};
 
 /// Thread counts exercised against the single-threaded dense baseline.
@@ -21,6 +22,15 @@ const FABRIC_FAULTS: [usize; 3] = [0, 5, 15];
 
 /// Fault counts for the 4×4 machine runs.
 const MACHINE_FAULTS: [usize; 3] = [0, 1, 3];
+
+/// Memory-timing backends the machine identity property ranges over:
+/// the sparse walk must be unobservable on stateful backends too (the
+/// execute-then-stall drain keeps a stalled core's tile runnable).
+const MEMORY: [MemoryModelKind; 3] = [
+    MemoryModelKind::Fixed,
+    MemoryModelKind::Banked,
+    MemoryModelKind::BankedTlb,
+];
 
 /// Runs the NoC traffic simulator on a 16×16 wafer and returns the full
 /// report (deliveries, latencies, stalls, backpressure, undeliverables).
@@ -53,11 +63,14 @@ fn run_machine(
     reps: u32,
     stepping: Stepping,
     threads: usize,
+    memory: MemoryModelKind,
 ) -> impl PartialEq + std::fmt::Debug {
     let array = TileArray::new(4, 4);
     let mut rng = seeded_rng(seed);
     let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
-    let cfg = SystemConfig::with_array(array).with_latency_model(LatencyModel::Fabric);
+    let cfg = SystemConfig::with_array(array)
+        .with_latency_model(LatencyModel::Fabric)
+        .with_memory_model(memory);
     let mut m = MultiTileMachine::new(cfg, faults.clone());
     m.set_threads(threads);
     m.set_stepping(stepping);
@@ -117,18 +130,21 @@ proptest! {
 
     /// Machine architectural state — memory, stats, and the per-core
     /// cycle/stall counters the sparse gap-replay reconstructs — is
-    /// bit-identical between stepping modes at every thread count.
+    /// bit-identical between stepping modes at every thread count and
+    /// under every memory-timing backend.
     #[test]
     fn sparse_machine_matches_dense(
         seed in any::<u64>(),
         fault_idx in 0usize..3,
         reps in 1u32..6,
         threads_idx in 0usize..3,
+        mem_idx in 0usize..3,
     ) {
         let faults = MACHINE_FAULTS[fault_idx];
         let threads = THREADS[threads_idx];
-        let dense = run_machine(seed, faults, reps, Stepping::Dense, 1);
-        let sparse = run_machine(seed, faults, reps, Stepping::Sparse, threads);
+        let memory = MEMORY[mem_idx];
+        let dense = run_machine(seed, faults, reps, Stepping::Dense, 1, memory);
+        let sparse = run_machine(seed, faults, reps, Stepping::Sparse, threads, memory);
         prop_assert_eq!(dense, sparse);
     }
 }
