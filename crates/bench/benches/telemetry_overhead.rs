@@ -76,6 +76,27 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             black_box(m.run_until_halt(1_000_000).expect("halts"))
         })
     });
+    // The off-path cost of the run-artifact pipeline: sampler, digests,
+    // and profiler all explicitly disabled must price the same as the
+    // baseline (their per-cycle gates are a compare against zero), and
+    // the all-on column shows what default-cadence observability costs.
+    group.bench_function(BenchmarkId::new("stencil", "observability_disabled"), |b| {
+        b.iter(|| {
+            let mut m = stencil_machine();
+            m.set_sampling(0);
+            m.set_digests(0);
+            m.set_profiling(false);
+            black_box(m.run_until_halt(1_000_000).expect("halts"))
+        })
+    });
+    group.bench_function(BenchmarkId::new("stencil", "observability_default"), |b| {
+        b.iter(|| {
+            let mut m = stencil_machine();
+            m.set_sampling(64);
+            m.set_digests(64);
+            black_box(m.run_until_halt(1_000_000).expect("halts"))
+        })
+    });
     group.finish();
 }
 
@@ -107,6 +128,25 @@ fn bench_fig7_overhead(c: &mut Criterion) {
             let mut rng = seeded_rng(7);
             let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
             sim.fabric_mut().set_sink(recorder.boxed());
+            black_box(sim.run(TrafficPattern::UniformRandom, 1000, &mut rng))
+        })
+    });
+    group.bench_function(BenchmarkId::new("fig7", "observability_disabled"), |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(7);
+            let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
+            sim.fabric_mut().set_sampling(0);
+            sim.fabric_mut().set_digests(0);
+            sim.fabric_mut().set_profiling(false);
+            black_box(sim.run(TrafficPattern::UniformRandom, 1000, &mut rng))
+        })
+    });
+    group.bench_function(BenchmarkId::new("fig7", "observability_default"), |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(7);
+            let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
+            sim.fabric_mut().set_sampling(64);
+            sim.fabric_mut().set_digests(64);
             black_box(sim.run(TrafficPattern::UniformRandom, 1000, &mut rng))
         })
     });

@@ -11,7 +11,7 @@ use std::time::Instant;
 use wsp_bench::{header, result_line, row, BenchOpts};
 use wsp_common::units::Watts;
 use wsp_pdn::{DeliveryStrategy, LoadModel, PdnConfig};
-use wsp_telemetry::{SharedRecorder, Sink};
+use wsp_telemetry::{PhaseProfiler, SharedRecorder, Sink};
 use wsp_topo::TileCoord;
 
 fn main() {
@@ -230,19 +230,26 @@ fn main() {
     sink.gauge_set("pdn.parallel.max_deviation_uv", max_dev_uv);
     sink.gauge_set("pdn.parallel.iterations", rb.iterations() as f64);
     if !opts.smoke {
-        sink.gauge_set("pdn.parallel.threads", threads as f64);
+        sink.gauge_set("wall.pdn.parallel.threads", threads as f64);
         sink.gauge_set(
-            "pdn.parallel.wall_ms_lexicographic",
+            "wall.pdn.parallel.ms_lexicographic",
             lex_wall.as_secs_f64() * 1e3,
         );
         sink.gauge_set(
-            "pdn.parallel.wall_ms_red_black",
+            "wall.pdn.parallel.ms_red_black",
             rb_wall.as_secs_f64() * 1e3,
         );
         sink.gauge_set(
-            "pdn.parallel.speedup",
+            "wall.pdn.parallel.speedup",
             lex_wall.as_secs_f64() / rb_wall.as_secs_f64(),
         );
+        // The PDN bench has no stepped machine to profile, so the solve
+        // timings themselves become the phase tree.
+        let mut profiler = PhaseProfiler::new(true);
+        profiler.add("pdn.solve", (lex_wall + rb_wall).as_nanos(), 2);
+        profiler.add("pdn.solve.lexicographic", lex_wall.as_nanos(), 1);
+        profiler.add("pdn.solve.red_black", rb_wall.as_nanos(), 1);
+        profiler.export(&mut sink, "");
     }
 
     opts.write_outputs("fig2_droop", &recorder);

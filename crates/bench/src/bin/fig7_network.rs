@@ -102,6 +102,14 @@ fn main() {
         let mut sim = NocSim::new(FaultMap::none(array), SimConfig::default());
         sim.fabric_mut().set_threads(threads);
         sim.fabric_mut().set_stepping(opts.stepping);
+        // The hot-spot run is the one whose fabric metrics get exported:
+        // give it the full observability treatment (time series, digest
+        // journal, and — outside smoke mode — the wall-clock profiler).
+        if matches!(pattern, TrafficPattern::HotSpot { .. }) {
+            sim.fabric_mut().set_sampling(opts.sample_every);
+            sim.fabric_mut().set_digests(opts.digest_every);
+            sim.fabric_mut().set_profiling(!opts.smoke);
+        }
         let report = sim.run(pattern, requests, &mut rng);
         // On a clean wafer every request must complete and drain before
         // the scenario ends — a stuck packet here is a routing or
@@ -131,6 +139,10 @@ fn main() {
         // per-link fabric metrics for it.
         if matches!(pattern, TrafficPattern::HotSpot { .. }) {
             sim.fabric().export_metrics(&mut sink);
+            if !opts.smoke {
+                sim.fabric().export_profile(&mut sink, "fabric.");
+            }
+            opts.write_digest(sim.fabric().journal());
             if let Some((net, tile, dir, count)) = sim.fabric().hottest_link() {
                 sink.gauge_set("fabric.hottest_link.forwarded", count as f64);
                 result_line(
@@ -193,17 +205,19 @@ fn main() {
     );
     let wafer = TileArray::new(32, 32);
     let wafer_requests: u64 = if opts.smoke { 500 } else { 20_000 };
-    let run_wafer = |threads: usize, stepping: Stepping| {
+    let run_wafer = |threads: usize, stepping: Stepping, profile: bool| {
         let mut rng = seeded_rng(seed + 9);
         let mut sim = NocSim::new(FaultMap::none(wafer), SimConfig::default());
         sim.fabric_mut().set_threads(threads);
         sim.fabric_mut().set_stepping(stepping);
+        sim.fabric_mut().set_profiling(profile);
         let start = Instant::now();
         let report = sim.run(TrafficPattern::UniformRandom, wafer_requests, &mut rng);
-        (report, start.elapsed(), sim.fabric().executor())
+        (report, start.elapsed(), sim)
     };
-    let (seq_report, seq_wall, _) = run_wafer(1, opts.stepping);
-    let (par_report, par_wall, par_executor) = run_wafer(threads, opts.stepping);
+    let (seq_report, seq_wall, _) = run_wafer(1, opts.stepping, false);
+    let (par_report, par_wall, par_sim) = run_wafer(threads, opts.stepping, !opts.smoke);
+    let par_executor = par_sim.fabric().executor();
     assert_eq!(
         seq_report, par_report,
         "parallel fabric diverged from sequential on the full wafer"
@@ -242,17 +256,23 @@ fn main() {
     // Wall-clock gauges only outside smoke mode: the smoke JSON must be
     // byte-identical across thread counts (the CI determinism gate diffs it).
     if !opts.smoke {
-        sink.gauge_set("noc.full_wafer.threads", threads as f64);
+        sink.gauge_set("wall.noc.full_wafer.threads", threads as f64);
         sink.gauge_set(
-            "noc.full_wafer.wall_ms_1_thread",
+            "wall.noc.full_wafer.ms_1_thread",
             seq_wall.as_secs_f64() * 1e3,
         );
         sink.gauge_set(
-            "noc.full_wafer.wall_ms_n_threads",
+            "wall.noc.full_wafer.ms_n_threads",
             par_wall.as_secs_f64() * 1e3,
         );
-        sink.gauge_set("noc.full_wafer.speedup", speedup);
-        sink.gauge_set("noc.full_wafer.executor_code", executor_code(par_executor));
+        sink.gauge_set("wall.noc.full_wafer.speedup", speedup);
+        sink.gauge_set(
+            "wall.noc.full_wafer.executor_code",
+            executor_code(par_executor),
+        );
+        par_sim
+            .fabric()
+            .export_profile(&mut sink, "fabric.full_wafer.");
         result_line("full-wafer executor", par_executor, None);
     }
 
@@ -289,14 +309,14 @@ fn main() {
         let key = metric_key(name);
         if !opts.smoke {
             sink.gauge_set(
-                &format!("noc.sparse.{key}.wall_ms_dense"),
+                &format!("wall.noc.sparse.{key}.ms_dense"),
                 dense_wall.as_secs_f64() * 1e3,
             );
             sink.gauge_set(
-                &format!("noc.sparse.{key}.wall_ms_sparse"),
+                &format!("wall.noc.sparse.{key}.ms_sparse"),
                 sparse_wall.as_secs_f64() * 1e3,
             );
-            sink.gauge_set(&format!("noc.sparse.{key}.speedup"), mode_speedup);
+            sink.gauge_set(&format!("wall.noc.sparse.{key}.speedup"), mode_speedup);
         }
         row(&[
             name.to_string(),

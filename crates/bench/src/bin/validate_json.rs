@@ -65,7 +65,7 @@ fn validate_report(doc: &Value) -> Result<String, String> {
         .and_then(Value::as_object)
         .ok_or("missing \"metrics\" object")?;
     let mut total = 0usize;
-    for family in ["counters", "gauges", "histograms", "series"] {
+    for family in ["counters", "gauges", "histograms", "series", "timeseries"] {
         let map = metrics
             .get(family)
             .and_then(Value::as_object)
@@ -74,6 +74,32 @@ fn validate_report(doc: &Value) -> Result<String, String> {
     }
     if total == 0 {
         return Err("report records no metrics at all".to_string());
+    }
+    for (name, entry) in metrics
+        .get("timeseries")
+        .and_then(Value::as_object)
+        .expect("checked above")
+    {
+        let cycles = entry
+            .get("cycles")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("timeseries {name:?} missing \"cycles\" array"))?;
+        let values = entry
+            .get("values")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("timeseries {name:?} missing \"values\" array"))?;
+        if cycles.len() != values.len() {
+            return Err(format!(
+                "timeseries {name:?}: {} cycles vs {} values",
+                cycles.len(),
+                values.len()
+            ));
+        }
+        for field in ["every", "stride"] {
+            if entry.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("timeseries {name:?} missing numeric {field:?}"));
+            }
+        }
     }
     Ok(format!("bench {bench:?}, {total} metrics"))
 }

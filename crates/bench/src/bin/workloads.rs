@@ -264,7 +264,7 @@ fn main() {
         full_wafer_machine_bench(&mut sink, threads, opts.stepping);
         sparse_vs_dense_machine_bench(&mut sink, threads);
     }
-    traced_stencil_run(&recorder, threads, opts.stepping);
+    traced_stencil_run(&recorder, &opts, threads);
     opts.write_outputs("workloads", &recorder);
     if sampling_failures > 0 {
         eprintln!(
@@ -430,18 +430,18 @@ fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize, stepping:
         "machine.full_wafer.remote_accesses",
         seq_stats.remote_accesses as f64,
     );
-    sink.gauge_set("machine.full_wafer.threads", threads as f64);
+    sink.gauge_set("wall.machine.full_wafer.threads", threads as f64);
     sink.gauge_set(
-        "machine.full_wafer.wall_ms_1_thread",
+        "wall.machine.full_wafer.ms_1_thread",
         seq_wall.as_secs_f64() * 1e3,
     );
     sink.gauge_set(
-        "machine.full_wafer.wall_ms_n_threads",
+        "wall.machine.full_wafer.ms_n_threads",
         par_wall.as_secs_f64() * 1e3,
     );
-    sink.gauge_set("machine.full_wafer.speedup", speedup);
+    sink.gauge_set("wall.machine.full_wafer.speedup", speedup);
     sink.gauge_set(
-        "machine.full_wafer.executor_code",
+        "wall.machine.full_wafer.executor_code",
         executor_code(par_executor),
     );
     result_line(
@@ -506,14 +506,14 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
         "true".to_string(),
     ]);
     sink.gauge_set(
-        "machine.sparse.halo.wall_ms_dense",
+        "wall.machine.sparse.halo.ms_dense",
         dense_wall.as_secs_f64() * 1e3,
     );
     sink.gauge_set(
-        "machine.sparse.halo.wall_ms_sparse",
+        "wall.machine.sparse.halo.ms_sparse",
         sparse_wall.as_secs_f64() * 1e3,
     );
-    sink.gauge_set("machine.sparse.halo.speedup", speedup);
+    sink.gauge_set("wall.machine.sparse.halo.speedup", speedup);
     sink.gauge_set("machine.sparse.halo.runnable_mean", sparse_hist.mean());
     result_line(
         "mean runnable tiles per cycle",
@@ -531,9 +531,13 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
 /// with machine and fabric sinks installed, a clock-selection bring-up
 /// and a DfT program load are traced alongside it, and the machine's
 /// per-tile activity drives a traced PDN solve — one timeline covering
-/// five subsystems.
-fn traced_stencil_run(recorder: &SharedRecorder, threads: usize, stepping: Stepping) {
+/// five subsystems. This machine also carries the run-artifact
+/// observability: gauge time series, the determinism-digest journal
+/// (written next to the JSON report), and — outside smoke mode — the
+/// wall-clock phase profile.
+fn traced_stencil_run(recorder: &SharedRecorder, opts: &BenchOpts, threads: usize) {
     const N: u16 = 4;
+    let stepping = opts.stepping;
     let mut sink = recorder.clone();
 
     header(
@@ -566,8 +570,15 @@ fn traced_stencil_run(recorder: &SharedRecorder, threads: usize, stepping: Stepp
     m.set_stepping(stepping);
     m.set_sink(recorder.boxed());
     m.fabric_mut().set_sink(recorder.boxed());
+    m.set_sampling(opts.sample_every);
+    m.set_digests(opts.digest_every);
+    m.set_profiling(!opts.smoke);
     let stats = m.run_until_halt(1_000_000).expect("halts");
     m.export_metrics(&mut sink);
+    if !opts.smoke {
+        m.export_profile(&mut sink);
+    }
+    opts.write_digest(m.journal());
     result_line(
         "stencil machine",
         format!(

@@ -9,8 +9,10 @@ use std::fmt::Display;
 use std::path::{Path, PathBuf};
 
 use wsp_common::parallel::Stepping;
-use wsp_telemetry::SharedRecorder;
+use wsp_telemetry::{DigestJournal, SharedRecorder, DEFAULT_DIGEST_EVERY, DEFAULT_SAMPLE_EVERY};
 use wsp_tile::MemoryModelKind;
+
+pub mod diff;
 
 /// Common CLI options of the regenerator binaries.
 ///
@@ -31,6 +33,11 @@ use wsp_tile::MemoryModelKind;
 /// - `--memory <fixed|banked|banked+tlb>` — memory-timing backend for
 ///   the machine and workload layers (default: `fixed`, which is
 ///   byte-identical to the pre-trait model);
+/// - `--sample-every <n>` — cycles between time-series gauge samples in
+///   the cycle-level engines (default: 64; `0` disables sampling);
+/// - `--digest-every <n>` — cycles between determinism-digest windows;
+///   the journal is written to `<json>.digest` next to `--json`
+///   (default: 64; `0` disables digests);
 /// - `--smoke` — shrink the workload to a seconds-scale smoke run.
 ///
 /// # Examples
@@ -48,7 +55,7 @@ use wsp_tile::MemoryModelKind;
 /// assert!(opts.smoke);
 /// assert_eq!(opts.json.as_deref(), Some(std::path::Path::new("out.json")));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchOpts {
     /// Where to write the metrics report, if requested.
     pub json: Option<PathBuf>,
@@ -62,8 +69,28 @@ pub struct BenchOpts {
     pub stepping: Stepping,
     /// Memory-timing backend for the machine and workload layers.
     pub memory: MemoryModelKind,
+    /// Cycles between time-series gauge samples (0 = off).
+    pub sample_every: u64,
+    /// Cycles between determinism-digest windows (0 = off).
+    pub digest_every: u64,
     /// Whether to run the reduced smoke workload.
     pub smoke: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            json: None,
+            trace: None,
+            seed: None,
+            threads: None,
+            stepping: Stepping::default(),
+            memory: MemoryModelKind::default(),
+            sample_every: DEFAULT_SAMPLE_EVERY,
+            digest_every: DEFAULT_DIGEST_EVERY,
+            smoke: false,
+        }
+    }
 }
 
 impl BenchOpts {
@@ -75,7 +102,8 @@ impl BenchOpts {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] \
-                     [--stepping <dense|sparse>] [--memory <fixed|banked|banked+tlb>] [--smoke]"
+                     [--stepping <dense|sparse>] [--memory <fixed|banked|banked+tlb>] \
+                     [--sample-every <n>] [--digest-every <n>] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -128,6 +156,18 @@ impl BenchOpts {
                         format!("invalid memory model {raw:?} (fixed|banked|banked+tlb)")
                     })?;
                 }
+                "--sample-every" => {
+                    let raw = args.next().ok_or("--sample-every requires a value")?;
+                    opts.sample_every = raw
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid sample cadence {raw:?}"))?;
+                }
+                "--digest-every" => {
+                    let raw = args.next().ok_or("--digest-every requires a value")?;
+                    opts.digest_every = raw
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid digest cadence {raw:?}"))?;
+                }
                 "--smoke" => opts.smoke = true,
                 other => return Err(format!("unknown argument {other:?}")),
             }
@@ -163,6 +203,25 @@ impl BenchOpts {
         if let Some(path) = &self.trace {
             write_file(path, &recorder.trace_json());
             println!("  wrote Chrome trace:   {}", path.display());
+        }
+    }
+
+    /// Sidecar path of the determinism-digest journal: `<json>.digest`.
+    pub fn digest_path(&self) -> Option<PathBuf> {
+        self.json.as_ref().map(|p| {
+            let mut os = p.clone().into_os_string();
+            os.push(".digest");
+            PathBuf::from(os)
+        })
+    }
+
+    /// Writes the digest journal sidecar next to `--json`. A no-op when
+    /// `--json` was not requested or digests were disabled (`journal` is
+    /// `None`).
+    pub fn write_digest(&self, journal: Option<&DigestJournal>) {
+        if let (Some(path), Some(journal)) = (self.digest_path(), journal) {
+            write_file(&path, &journal.to_text());
+            println!("  wrote digest journal: {}", path.display());
         }
     }
 }
@@ -259,6 +318,10 @@ mod tests {
             "dense",
             "--memory",
             "banked",
+            "--sample-every",
+            "8",
+            "--digest-every",
+            "16",
             "--smoke",
         ])
         .expect("valid");
@@ -269,12 +332,23 @@ mod tests {
         assert_eq!(opts.threads_or_available(), 4);
         assert_eq!(opts.stepping, Stepping::Dense);
         assert_eq!(opts.memory, MemoryModelKind::Banked);
+        assert_eq!(opts.sample_every, 8);
+        assert_eq!(opts.digest_every, 16);
         assert!(opts.smoke);
         assert_eq!(opts.seed_or(7), 9);
+        assert_eq!(
+            opts.digest_path().as_deref(),
+            Some(Path::new("a.json.digest"))
+        );
         let empty = parse(&[]).expect("empty ok");
         assert_eq!(empty.seed_or(7), 7);
         assert_eq!(empty.stepping, Stepping::Sparse);
         assert_eq!(empty.memory, MemoryModelKind::Fixed);
+        assert_eq!(empty.sample_every, DEFAULT_SAMPLE_EVERY);
+        assert_eq!(empty.digest_every, DEFAULT_DIGEST_EVERY);
+        assert_eq!(empty.digest_path(), None);
+        let off = parse(&["--sample-every", "0", "--digest-every", "0"]).expect("valid");
+        assert_eq!((off.sample_every, off.digest_every), (0, 0));
         let tlb = parse(&["--memory", "banked+tlb"]).expect("valid");
         assert_eq!(tlb.memory, MemoryModelKind::BankedTlb);
     }
@@ -297,6 +371,10 @@ mod tests {
         assert!(parse(&["--stepping", "eager"]).is_err());
         assert!(parse(&["--memory"]).is_err());
         assert!(parse(&["--memory", "dram"]).is_err());
+        assert!(parse(&["--sample-every"]).is_err());
+        assert!(parse(&["--sample-every", "often"]).is_err());
+        assert!(parse(&["--digest-every"]).is_err());
+        assert!(parse(&["--digest-every", "-1"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 
@@ -327,11 +405,7 @@ mod tests {
         let opts = BenchOpts {
             json: Some(dir.join("m.json")),
             trace: Some(dir.join("t.json")),
-            seed: None,
-            threads: None,
-            stepping: Stepping::default(),
-            memory: MemoryModelKind::default(),
-            smoke: false,
+            ..BenchOpts::default()
         };
         opts.write_outputs("unit", &recorder);
         for name in ["m.json", "t.json"] {

@@ -30,8 +30,12 @@ use std::ops::Range;
 
 use wsp_common::parallel::{band_ranges, AdaptiveExecutor, Stepping};
 use wsp_noc::{Fabric, FabricPacket, NetworkChoice, PacketKind, RoutePlanner};
-use wsp_telemetry::{BufferedSink, Histogram, NoopSink, Sink};
+use wsp_telemetry::{
+    BufferedSink, DigestJournal, Fnv1a, Histogram, LaneId, NoopSink, PhaseProfiler, Sink,
+    TimeSeries,
+};
 use wsp_tile::{
+    isa::Reg,
     memory::{bank_of_offset, GLOBAL_REGION_BYTES},
     AccessMemoryError, BusAccess, BusGrant, CoreSim, CoreState, MemTiming, MemoryChiplet,
     MemoryModel, MemoryModelKind, PendingAccess, StepError, GLOBAL_BASE,
@@ -195,6 +199,18 @@ pub struct MultiTileMachine {
     /// a latency histogram sample, bank denials bump a counter, and
     /// [`MultiTileMachine::run_until_halt`] emits a `machine` run span.
     sink: Box<dyn Sink>,
+    /// Sampling cadence for the machine's gauge series (0 = off).
+    sample_every: u64,
+    /// Per-cycle gauge series `(name, series)`: runnable tiles, in-flight
+    /// remote ops, and (stateful memory backends only) the cumulative
+    /// row-hit rate. Pure functions of architectural state, so the series
+    /// are bit-identical across stepping modes and thread counts.
+    samples: [(&'static str, TimeSeries); 3],
+    /// Wall-clock phase attribution: `machine.tiles` (per-shard, folded
+    /// after the barrier), `machine.commit`, `machine.fabric`, and
+    /// `machine.fabric.memory`. The fabric's own `plan`/`apply` phases
+    /// live in its profiler and are re-rooted on export.
+    profiler: PhaseProfiler,
 }
 
 impl MultiTileMachine {
@@ -241,7 +257,19 @@ impl MultiTileMachine {
             runnable_tiles: Histogram::new(),
             runnable_buf: Vec::with_capacity(tiles),
             sink: Box::new(NoopSink),
+            sample_every: 0,
+            samples: Self::make_samples(0),
+            profiler: PhaseProfiler::new(false),
         }
+    }
+
+    /// The machine's sampled gauge series at cadence `every`.
+    fn make_samples(every: u64) -> [(&'static str, TimeSeries); 3] {
+        [
+            ("machine.runnable_tiles", TimeSeries::new(every)),
+            ("machine.in_flight", TimeSeries::new(every)),
+            ("machine.memory.row_hit_rate", TimeSeries::new(every)),
+        ]
     }
 
     /// Steps the fabric-model tile phase (and the fabric's plan phase)
@@ -295,6 +323,62 @@ impl MultiTileMachine {
     /// [`MultiTileMachine::fabric_mut`].
     pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
         self.sink = sink;
+    }
+
+    /// Enables per-cycle gauge sampling every `every` cycles for both the
+    /// machine and its fabric (0 = off, the default). Resets previously
+    /// collected series. Sampled values are pure functions of
+    /// architectural state and land in the deterministic bench report.
+    pub fn set_sampling(&mut self, every: u64) {
+        self.sample_every = every;
+        self.samples = Self::make_samples(every);
+        self.fabric.set_sampling(every);
+    }
+
+    /// Sampling cadence in cycles (0 = off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The machine's collected gauge series as `(name, series)` pairs.
+    pub fn timeseries(&self) -> impl Iterator<Item = (&'static str, &TimeSeries)> {
+        self.samples.iter().map(|(name, s)| (*name, s))
+    }
+
+    /// Enables determinism digests every `every` cycles (0 = off). The
+    /// journal lives in the fabric (machine and fabric share one cycle
+    /// domain); every window fingerprints each router's queue state and
+    /// each tile's architectural state (cores, pending slots, memory-model
+    /// timing). Digests are only recorded under [`LatencyModel::Fabric`] —
+    /// the analytic model never ticks the fabric clock.
+    pub fn set_digests(&mut self, every: u64) {
+        self.fabric.set_digests(every);
+    }
+
+    /// The determinism-digest journal recorded so far, if digests are on.
+    pub fn journal(&self) -> Option<&DigestJournal> {
+        self.fabric.journal()
+    }
+
+    /// Turns wall-clock phase profiling on or off, for the machine's own
+    /// phases and the fabric's `plan`/`apply`.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler.set_enabled(on);
+        self.fabric.set_profiling(on);
+    }
+
+    /// The machine's accumulated phase timings (excluding the fabric's;
+    /// see [`MultiTileMachine::export_profile`] for the merged export).
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// Exports every phase timing as `wall.profile.*` gauges: the
+    /// machine's own phases plus the fabric's, re-rooted under
+    /// `machine.fabric.` so the rollup sees one tree.
+    pub fn export_profile(&self, sink: &mut dyn Sink) {
+        self.profiler.export(sink, "");
+        self.fabric.export_profile(sink, "machine.fabric.");
     }
 
     /// Mutable access to the shared fabric, e.g. to install its sink.
@@ -443,7 +527,12 @@ impl MultiTileMachine {
         }
         self.cycles += 1;
         let result = match self.config.latency_model() {
-            LatencyModel::Analytic => self.step_tiles_analytic(),
+            LatencyModel::Analytic => {
+                let tiles_timer = self.profiler.start();
+                let r = self.step_tiles_analytic();
+                self.profiler.stop("machine.tiles", tiles_timer);
+                r
+            }
             LatencyModel::Fabric => self.step_tiles_fabric().map(|()| self.advance_fabric()),
         };
         if result.is_err() {
@@ -451,8 +540,118 @@ impl MultiTileMachine {
             // before any further stepping instead of patching the
             // partially updated counters.
             self.liveness_dirty = true;
+        } else {
+            self.sample_cycle();
+            if self.config.latency_model() == LatencyModel::Fabric {
+                self.record_digest_lanes();
+            }
         }
         result
+    }
+
+    /// Offers this cycle's gauge samples to the machine's series (the
+    /// fabric samples its own inside [`Fabric::tick`]). Gated on the
+    /// shared cadence so the state walks run only on sample cycles.
+    fn sample_cycle(&mut self) {
+        if self.sample_every == 0 || !self.samples[0].1.wants(self.cycles) {
+            return;
+        }
+        let cycle = self.cycles;
+        let runnable = self
+            .live_cores
+            .iter()
+            .zip(&self.blocked_cores)
+            .filter(|&(&l, &b)| l > b)
+            .count();
+        self.samples[0].1.record(cycle, runnable as f64);
+        self.samples[1].1.record(cycle, self.in_flight.len() as f64);
+        // The row-hit-rate series only exists on stateful backends,
+        // matching the gating of the end-of-run memory counters.
+        if self.config.memory_model() != MemoryModelKind::Fixed {
+            self.samples[2]
+                .1
+                .record(cycle, self.memory_profile().row_hit_rate());
+        }
+    }
+
+    /// Fingerprints each tile's architectural state into the fabric's
+    /// digest journal at window boundaries: per-core state/pc/registers/
+    /// stats, pending-access slots, liveness counters, and the memory
+    /// model's timing fingerprint. Shared-memory *contents* are not
+    /// hashed (too large at this cadence); a data-only divergence
+    /// surfaces as soon as a core loads it into a register.
+    fn record_digest_lanes(&mut self) {
+        let MultiTileMachine {
+            cores,
+            mem_models,
+            pending,
+            live_cores,
+            blocked_cores,
+            fabric,
+            cycles,
+            ..
+        } = self;
+        let Some(journal) = fabric.journal_mut() else {
+            return;
+        };
+        let cycle = *cycles;
+        if !journal.wants(cycle) {
+            return;
+        }
+        for (t, tile_cores) in cores.iter().enumerate() {
+            let mut h = Fnv1a::new();
+            for core in tile_cores {
+                h.write_u8(match core.state() {
+                    CoreState::Running => 0,
+                    CoreState::Halted => 1,
+                    CoreState::Faulted => 2,
+                });
+                h.write_u64(core.pc() as u64);
+                h.write_u64(core.stall_pending());
+                // Retired instructions are stepping-invariant; the cycle
+                // and stall counters are NOT hashed because the sparse
+                // walk replays a blocked core's bookkeeping in bulk on
+                // wake, so they lag the dense sweep mid-run.
+                h.write_u64(core.stats().retired);
+                for r in Reg::ALL {
+                    h.write_u32(core.reg(r));
+                }
+            }
+            for slot in &pending[t] {
+                match *slot {
+                    None => h.write_u8(0),
+                    Some(PendingAccess::InFlight { addr, issued_at }) => {
+                        h.write_u8(1);
+                        h.write_u32(addr);
+                        h.write_u64(issued_at);
+                    }
+                    Some(PendingAccess::WaitUntil {
+                        addr,
+                        issued_at,
+                        ready_at,
+                    }) => {
+                        h.write_u8(2);
+                        h.write_u32(addr);
+                        h.write_u64(issued_at);
+                        h.write_u64(ready_at);
+                    }
+                    Some(PendingAccess::Ready {
+                        addr,
+                        issued_at,
+                        value,
+                    }) => {
+                        h.write_u8(3);
+                        h.write_u32(addr);
+                        h.write_u64(issued_at);
+                        h.write_u32(value);
+                    }
+                }
+            }
+            h.write_u64(mem_models[t].state_fingerprint());
+            h.write_u32(live_cores[t]);
+            h.write_u32(blocked_cores[t]);
+            journal.record(cycle, LaneId::Machine { tile: t as u32 }, h.finish());
+        }
     }
 
     /// One cycle of the analytic model: always sequential, because an
@@ -522,6 +721,7 @@ impl MultiTileMachine {
         let rotate = (self.cycles % cores_per_tile as u64) as usize;
         let cycles = self.cycles;
         let telemetry_on = self.sink.enabled();
+        let profile_on = self.profiler.enabled();
         let sparse = self.stepping == Stepping::Sparse;
 
         // Active-set pre-scan, in both stepping modes: the telemetry
@@ -590,7 +790,8 @@ impl MultiTileMachine {
                 }
             }
             let step_shard = |shard: FabricShard<'_>| {
-                let mut out = ShardOut::new(telemetry_on);
+                let mut out = ShardOut::new(telemetry_on, profile_on);
+                let tiles_timer = out.profile.start();
                 step_fabric_band(
                     array,
                     faults,
@@ -603,6 +804,7 @@ impl MultiTileMachine {
                     runnable,
                     &mut out,
                 );
+                out.profile.stop("machine.tiles", tiles_timer);
                 out
             };
             if shards.len() == 1 {
@@ -615,8 +817,10 @@ impl MultiTileMachine {
         self.runnable_buf = runnable_vec;
 
         // Sequential commit, in band order.
+        let commit_timer = self.profiler.start();
         let mut first_error: Option<RunMachineError> = None;
         for mut out in outs {
+            self.profiler.fold(&out.profile);
             self.local_accesses += out.local_accesses;
             self.remote_accesses += out.remote_accesses;
             self.network_stall_cycles += out.network_stall_cycles;
@@ -658,6 +862,7 @@ impl MultiTileMachine {
                 first_error = out.error;
             }
         }
+        self.profiler.stop("machine.commit", commit_timer);
         match first_error {
             Some(error) => Err(error),
             None => Ok(()),
@@ -669,12 +874,14 @@ impl MultiTileMachine {
     /// owner's crossbar against its own cores) and send the result back;
     /// responses wake the issuing core.
     fn advance_fabric(&mut self) {
+        let fabric_timer = self.profiler.start();
         for packet in self.fabric.tick() {
             match packet.kind {
                 PacketKind::Request => self.deferred.push_back(packet),
                 PacketKind::Response => self.complete_response(&packet),
             }
         }
+        let memory_timer = self.profiler.start();
         let mut waiting = VecDeque::new();
         while let Some(packet) = self.deferred.pop_front() {
             if !self.try_service_request(&packet) {
@@ -682,6 +889,8 @@ impl MultiTileMachine {
             }
         }
         self.deferred = waiting;
+        self.profiler.stop("machine.fabric.memory", memory_timer);
+        self.profiler.stop("machine.fabric", fabric_timer);
     }
 
     /// Performs a delivered request at its owner tile if a bank port is
@@ -992,6 +1201,11 @@ impl MultiTileMachine {
             );
             sink.histogram_merge("machine.runnable_tiles", &self.runnable_tiles);
         }
+        for (name, series) in &self.samples {
+            if !series.is_empty() {
+                sink.timeseries_merge(name, series);
+            }
+        }
         if self.config.latency_model() == LatencyModel::Fabric {
             self.fabric.export_metrics(sink);
         }
@@ -1119,11 +1333,15 @@ struct ShardOut {
     halted_cores: u64,
     telemetry: BufferedSink,
     intents: Vec<InjectIntent>,
+    /// Wall time this shard spent in its band's tile-step phase; folded
+    /// into the machine's profiler after the barrier (fold order does
+    /// not matter — phase sums are commutative).
+    profile: PhaseProfiler,
     error: Option<RunMachineError>,
 }
 
 impl ShardOut {
-    fn new(telemetry_on: bool) -> Self {
+    fn new(telemetry_on: bool, profile_on: bool) -> Self {
         ShardOut {
             local_accesses: 0,
             remote_accesses: 0,
@@ -1133,6 +1351,7 @@ impl ShardOut {
             halted_cores: 0,
             telemetry: BufferedSink::new(telemetry_on),
             intents: Vec::new(),
+            profile: PhaseProfiler::new(profile_on),
             error: None,
         }
     }

@@ -73,7 +73,9 @@ use std::ops::Range;
 use std::sync::Arc;
 
 use wsp_common::parallel::{band_ranges, AdaptiveExecutor, Stepping, WorkerPool};
-use wsp_telemetry::{Histogram, NoopSink, Sink};
+use wsp_telemetry::{
+    DigestJournal, Fnv1a, Histogram, LaneId, NoopSink, PhaseProfiler, Sink, TimeSeries,
+};
 use wsp_topo::{Direction, TileArray, TileCoord, DIRECTIONS};
 
 use crate::kernel::NetworkChoice;
@@ -407,6 +409,21 @@ pub struct Fabric {
     /// Telemetry sink; [`NoopSink`] by default so the hot path pays one
     /// `enabled()` virtual call per tick when tracing is off.
     sink: Box<dyn Sink>,
+    /// Sampling cadence for the bounded time series below (0 = off).
+    sample_every: u64,
+    /// Per-tick gauge series `(name, series)`: active tiles, per-network
+    /// queue occupancy, packets in flight. Sampled from pre-cycle queue
+    /// state, so the series are pure functions of architectural state —
+    /// bit-identical across stepping modes and thread counts.
+    samples: [(&'static str, TimeSeries); 4],
+    /// Determinism-digest journal; `None` when digests are off. Lanes are
+    /// recorded from post-cycle router state every `journal.every()`
+    /// cycles. The machine also records its per-tile lanes here (same
+    /// cycle domain — it ticks this fabric once per machine step).
+    journal: Option<DigestJournal>,
+    /// Wall-clock attribution of each tick's `plan` and `apply` phases.
+    /// Disabled by default; never feeds deterministic output.
+    profiler: PhaseProfiler,
 }
 
 impl Fabric {
@@ -429,7 +446,21 @@ impl Fabric {
             exec: AdaptiveExecutor::default(),
             active_tiles: Histogram::new(),
             sink: Box::new(NoopSink),
+            sample_every: 0,
+            samples: Self::make_samples(0),
+            journal: None,
+            profiler: PhaseProfiler::new(false),
         }
+    }
+
+    /// The fabric's four sampled gauge series at cadence `every`.
+    fn make_samples(every: u64) -> [(&'static str, TimeSeries); 4] {
+        [
+            ("fabric.active_tiles", TimeSeries::new(every)),
+            ("fabric.net0.occupancy", TimeSeries::new(every)),
+            ("fabric.net1.occupancy", TimeSeries::new(every)),
+            ("fabric.in_flight", TimeSeries::new(every)),
+        ]
     }
 
     /// Plans ticks with `threads` worker shards (row bands). Results are
@@ -474,6 +505,60 @@ impl Fabric {
     /// index), so request/response life-times appear on the trace timeline.
     pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
         self.sink = sink;
+    }
+
+    /// Enables per-tick gauge sampling every `every` cycles (0 = off, the
+    /// default). Resets any previously collected series. The sampled
+    /// values are pure functions of queue state, so the series land in
+    /// the deterministic bench report.
+    pub fn set_sampling(&mut self, every: u64) {
+        self.sample_every = every;
+        self.samples = Self::make_samples(every);
+    }
+
+    /// Sampling cadence in cycles (0 = off).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// The collected gauge series as `(name, series)` pairs.
+    pub fn timeseries(&self) -> impl Iterator<Item = (&'static str, &TimeSeries)> {
+        self.samples.iter().map(|(name, s)| (*name, s))
+    }
+
+    /// Enables determinism digests every `every` cycles (0 = off, the
+    /// default). Resets any previously recorded journal.
+    pub fn set_digests(&mut self, every: u64) {
+        self.journal =
+            (every != 0).then(|| DigestJournal::new(every, self.array.cols(), self.array.rows()));
+    }
+
+    /// The determinism-digest journal recorded so far, if digests are on.
+    pub fn journal(&self) -> Option<&DigestJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable journal access, for an owning machine recording its own
+    /// per-tile lanes into the shared cycle domain.
+    pub fn journal_mut(&mut self) -> Option<&mut DigestJournal> {
+        self.journal.as_mut()
+    }
+
+    /// Turns wall-clock phase profiling of `plan`/`apply` on or off.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler.set_enabled(on);
+    }
+
+    /// The accumulated phase timings.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// Exports phase timings as `wall.profile.<prefix><phase>.*` gauges
+    /// (`prefix` is `"fabric."` standalone, `"machine.fabric."` when the
+    /// machine re-roots them under its own tree).
+    pub fn export_profile(&self, sink: &mut dyn Sink, prefix: &str) {
+        self.profiler.export(sink, prefix);
     }
 
     /// The geometry this fabric spans.
@@ -553,7 +638,21 @@ impl Fabric {
         }
         self.active_tiles.record(active as u64);
 
+        // Gauge sampling reads the same pre-cycle queue state the sample
+        // above does; all four series share a cadence, so gating the
+        // occupancy walk on the first one's acceptance test is exact.
+        if self.sample_every != 0 && self.samples[0].1.wants(self.cycle) {
+            let cycle = self.cycle;
+            let occ0 = self.networks[0].total_occupancy();
+            let occ1 = self.networks[1].total_occupancy();
+            self.samples[0].1.record(cycle, active as f64);
+            self.samples[1].1.record(cycle, occ0 as f64);
+            self.samples[2].1.record(cycle, occ1 as f64);
+            self.samples[3].1.record(cycle, (occ0 + occ1) as f64);
+        }
+
         let tiles = self.array.tile_count();
+        let plan_timer = self.profiler.start();
         let plans: Vec<[Vec<PlannedMove>; 2]> = {
             let ctx = PlanCtx {
                 array: self.array,
@@ -594,6 +693,8 @@ impl Fabric {
                 }
             }
         };
+        self.profiler.stop("plan", plan_timer);
+        let apply_timer = self.profiler.start();
 
         // Commit phase: bands are concatenated in tile order, so this
         // replays the canonical sequential (network, tile, out_port) walk.
@@ -675,6 +776,39 @@ impl Fabric {
                 delivered.push(packet);
             }
         }
+        self.profiler.stop("apply", apply_timer);
+
+        // Digest window boundary: fingerprint every router's post-cycle
+        // state (queue contents and round-robin pointers) into per-lane
+        // journal entries. Per-lane dedup means idle routers cost no
+        // journal space; the walk itself runs only every K cycles.
+        if let Some(journal) = self.journal.as_mut() {
+            if journal.wants(self.cycle) {
+                for (net_idx, network) in self.networks.iter().enumerate() {
+                    for tile in 0..tiles {
+                        let mut h = Fnv1a::new();
+                        for port in 0..5 {
+                            h.write_u32(network.queues[tile][port].len() as u32);
+                            for p in &network.queues[tile][port] {
+                                h.write_u64(p.id);
+                                h.write_u8(p.leg);
+                                h.write_u32(p.hops);
+                            }
+                            h.write_u8(network.rr[tile][port] as u8);
+                        }
+                        journal.record(
+                            self.cycle,
+                            LaneId::Net {
+                                net: net_idx as u8,
+                                tile: tile as u32,
+                            },
+                            h.finish(),
+                        );
+                    }
+                }
+            }
+        }
+
         if self.sink.enabled() {
             for p in &delivered {
                 let name = match p.kind {
@@ -805,6 +939,11 @@ impl Fabric {
             }
         }
         sink.series_set("fabric.tile_heatmap", &self.utilization_heatmap());
+        for (name, series) in &self.samples {
+            if !series.is_empty() {
+                sink.timeseries_merge(name, series);
+            }
+        }
     }
 
     /// Total link traversals (one per packet per hop).

@@ -42,17 +42,28 @@
 //! assert!(trace.contains("\"traceEvents\""));
 //! ```
 
+mod digest;
+mod profiler;
 mod registry;
+mod sampler;
 mod sink;
 mod trace;
 
+pub use digest::{
+    first_divergence, DigestJournal, DigestWindow, Divergence, Fnv1a, LaneId, DEFAULT_DIGEST_EVERY,
+    JOURNAL_MAGIC,
+};
+pub use profiler::{profile_rollup, PhaseProfiler, PhaseStat, ProfileRow, PROFILE_GAUGE_PREFIX};
 pub use registry::{Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use sampler::{TimeSeries, DEFAULT_SAMPLE_EVERY, DEFAULT_SERIES_CAPACITY};
 pub use sink::{BufferedSink, NoopSink, Recorder, SharedRecorder, Sink};
 pub use trace::{TraceEvent, Tracer};
 
 /// Identifier of the machine-readable report schema emitted by
 /// [`Registry::to_json_report`]; bump when the layout changes shape.
-pub const REPORT_SCHEMA: &str = "wsp-bench-v1";
+/// v2 added the `"timeseries"` section and 9-significant-digit float
+/// formatting.
+pub const REPORT_SCHEMA: &str = "wsp-bench-v2";
 
 /// Escapes `s` into `out` as a JSON string literal (with quotes).
 pub(crate) fn push_json_string(s: &str, out: &mut String) {
@@ -74,13 +85,21 @@ pub(crate) fn push_json_string(s: &str, out: &mut String) {
 }
 
 /// Formats a float as a JSON number token (`null` for non-finite values,
-/// which JSON cannot represent).
+/// which JSON cannot represent). Non-integral values are rounded to 9
+/// significant digits before printing, so near-identical runs cannot
+/// churn goldens and diffs with `10.882882882882884`-style expansions of
+/// last-bit noise.
 pub(crate) fn push_json_f64(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
     } else if v.fract() == 0.0 && v.abs() < 1e15 {
         out.push_str(&format!("{}", v as i64));
     } else {
-        out.push_str(&format!("{v}"));
+        let rounded: f64 = format!("{v:.8e}").parse().unwrap_or(v);
+        if rounded.fract() == 0.0 && rounded.abs() < 1e15 {
+            out.push_str(&format!("{}", rounded as i64));
+        } else {
+            out.push_str(&format!("{rounded}"));
+        }
     }
 }

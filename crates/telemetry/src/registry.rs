@@ -3,7 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use crate::{push_json_f64, push_json_string, REPORT_SCHEMA};
+use crate::sampler::push_timeseries_json;
+use crate::{push_json_f64, push_json_string, TimeSeries, REPORT_SCHEMA};
 
 /// Number of buckets in a [`Histogram`]: bucket 0 holds the value `0`,
 /// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
@@ -185,6 +186,7 @@ pub struct Registry {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<f64>>,
+    timeseries: BTreeMap<String, TimeSeries>,
 }
 
 impl Registry {
@@ -226,6 +228,14 @@ impl Registry {
             .insert(name.to_string(), values.into_iter().collect());
     }
 
+    /// Stores a locally sampled time series under `name` (replacing any
+    /// previous one) — the aggregation hook mirroring
+    /// [`Registry::histogram_merge`]: subsystems sample on their own
+    /// clock into a [`TimeSeries`] and export it once.
+    pub fn timeseries_merge(&mut self, name: &str, series: &TimeSeries) {
+        self.timeseries.insert(name.to_string(), series.clone());
+    }
+
     /// Current value of a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -246,12 +256,18 @@ impl Registry {
         self.series.get(name).map(Vec::as_slice)
     }
 
+    /// The named time series, if exported.
+    pub fn timeseries(&self, name: &str) -> Option<&TimeSeries> {
+        self.timeseries.get(name)
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.series.is_empty()
+            && self.timeseries.is_empty()
     }
 
     /// Merges another registry into this one: counters add, gauges and
@@ -271,6 +287,9 @@ impl Registry {
         }
         for (name, s) in &other.series {
             self.series.insert(name.clone(), s.clone());
+        }
+        for (name, s) in &other.timeseries {
+            self.timeseries.insert(name.clone(), s.clone());
         }
     }
 
@@ -332,7 +351,9 @@ impl Registry {
             }
             out.push(']');
         }
-        out.push_str("}}");
+        out.push_str("},\"timeseries\":");
+        push_timeseries_json(&self.timeseries, &mut out);
+        out.push('}');
         out
     }
 
@@ -473,7 +494,39 @@ mod tests {
         // Sorted counter keys, escaped gauge key, NaN emitted as null.
         assert!(json.contains("\"counters\":{\"a\":2,\"z\":1}"));
         assert!(json.contains("\"not\\\"plain\":null"));
-        assert!(json.contains("\"schema\":\"wsp-bench-v1\""));
+        assert!(json.contains("\"schema\":\"wsp-bench-v2\""));
         assert!(json.contains("\"bench\":\"unit\""));
+        assert!(json.contains("\"timeseries\":{}"));
+    }
+
+    #[test]
+    fn timeseries_export_round_trips_through_registry() {
+        let mut r = Registry::new();
+        let mut s = TimeSeries::new(4);
+        s.record(4, 1.0);
+        s.record(8, 2.0);
+        r.timeseries_merge("fabric.active_tiles", &s);
+        assert_eq!(r.timeseries("fabric.active_tiles"), Some(&s));
+        assert!(!r.is_empty());
+        let json = r.to_json();
+        assert!(json.contains(
+            "\"timeseries\":{\"fabric.active_tiles\":{\"every\":4,\"stride\":1,\
+             \"cycles\":[4,8],\"values\":[1,2]}}"
+        ));
+        let mut merged = Registry::new();
+        merged.merge(&r);
+        assert_eq!(merged.timeseries("fabric.active_tiles"), Some(&s));
+    }
+
+    #[test]
+    fn json_floats_round_to_nine_significant_digits() {
+        let mut r = Registry::new();
+        r.gauge_set("g", 10.882882882882884);
+        r.gauge_set("tiny", 1.0000000001);
+        r.gauge_set("neg", -0.123456789123);
+        let json = r.to_json();
+        assert!(json.contains("\"g\":10.8828829"), "{json}");
+        assert!(json.contains("\"tiny\":1"), "{json}");
+        assert!(json.contains("\"neg\":-0.123456789"), "{json}");
     }
 }

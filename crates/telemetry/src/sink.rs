@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::{Histogram, Registry, Tracer};
+use crate::{Histogram, Registry, TimeSeries, Tracer};
 
 /// Telemetry hooks an instrumented subsystem calls.
 ///
@@ -37,6 +37,12 @@ pub trait Sink: Send {
 
     /// Replaces a named series (e.g. a row-major per-tile heat map).
     fn series_set(&mut self, _name: &str, _values: &[f64]) {}
+
+    /// Exports a locally sampled bounded time series (see
+    /// [`TimeSeries`]): the cadence-sampling analogue of
+    /// [`Sink::histogram_merge`]. Subsystems sample on their own clock
+    /// and hand the finished series over once at export time.
+    fn timeseries_merge(&mut self, _name: &str, _series: &TimeSeries) {}
 
     /// Records a span from `start` to `end` on `track` in `category`.
     fn span(&mut self, _category: &str, _name: &str, _track: u64, _start: u64, _end: u64) {}
@@ -100,6 +106,10 @@ impl Sink for Recorder {
         self.registry.series_set(name, values.iter().copied());
     }
 
+    fn timeseries_merge(&mut self, name: &str, series: &TimeSeries) {
+        self.registry.timeseries_merge(name, series);
+    }
+
     fn span(&mut self, category: &str, name: &str, track: u64, start: u64, end: u64) {
         self.tracer.span(category, name, track, start, end, &[]);
     }
@@ -133,6 +143,12 @@ enum BufferedEvent {
     Series {
         name: String,
         values: Vec<f64>,
+    },
+    TimeSeries {
+        name: String,
+        // Boxed like HistogramMerge: the point buffer would dominate
+        // every buffered event otherwise.
+        series: Box<TimeSeries>,
     },
     Span {
         category: String,
@@ -210,6 +226,9 @@ impl BufferedSink {
                     sink.histogram_merge(&name, &hist);
                 }
                 BufferedEvent::Series { name, values } => sink.series_set(&name, &values),
+                BufferedEvent::TimeSeries { name, series } => {
+                    sink.timeseries_merge(&name, &series);
+                }
                 BufferedEvent::Span {
                     category,
                     name,
@@ -279,6 +298,15 @@ impl Sink for BufferedSink {
             self.events.push(BufferedEvent::Series {
                 name: name.to_owned(),
                 values: values.to_vec(),
+            });
+        }
+    }
+
+    fn timeseries_merge(&mut self, name: &str, series: &TimeSeries) {
+        if self.enabled {
+            self.events.push(BufferedEvent::TimeSeries {
+                name: name.to_owned(),
+                series: Box::new(series.clone()),
             });
         }
     }
@@ -384,6 +412,10 @@ impl Sink for SharedRecorder {
 
     fn series_set(&mut self, name: &str, values: &[f64]) {
         self.with(|r| r.registry.series_set(name, values.iter().copied()));
+    }
+
+    fn timeseries_merge(&mut self, name: &str, series: &TimeSeries) {
+        self.with(|r| r.registry.timeseries_merge(name, series));
     }
 
     fn span(&mut self, category: &str, name: &str, track: u64, start: u64, end: u64) {

@@ -1,8 +1,9 @@
 //! Property tests for the telemetry core: histogram percentile ordering,
-//! bucket boundary identities, and counter saturation.
+//! bucket boundary identities, counter saturation, time-series
+//! decimation determinism, and phase-profiler fold commutativity.
 
 use proptest::prelude::*;
-use wsp_telemetry::{Histogram, Registry};
+use wsp_telemetry::{Histogram, PhaseProfiler, Recorder, Registry, TimeSeries};
 
 proptest! {
     /// p50 ≤ p95 ≤ p99 ≤ max for any sample set, and every percentile
@@ -55,5 +56,70 @@ proptest! {
         }
         let v = r.counter("c");
         prop_assert!(v >= u64::MAX - 1);
+    }
+
+    /// A decimating time series is a pure function of the cycle stream:
+    /// replaying the same stream yields identical points, the buffer
+    /// never exceeds its capacity, and every kept cycle sits on the
+    /// final stride's cadence. This is the property that lets the
+    /// `timeseries` section live inside the byte-compared smoke goldens.
+    #[test]
+    fn series_decimation_is_deterministic(
+        every in 1u64..8,
+        capacity in 2usize..16,
+        cycles in 1u64..2_000,
+    ) {
+        let run = || {
+            let mut s = TimeSeries::with_capacity(every, capacity);
+            for cycle in 1..=cycles {
+                if s.wants(cycle) {
+                    s.record(cycle, cycle as f64);
+                }
+            }
+            s
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.points(), b.points());
+        prop_assert_eq!(a.stride(), b.stride());
+        prop_assert!(a.len() <= a.capacity());
+        for &(cycle, value) in a.points() {
+            prop_assert_eq!(cycle % a.cadence(), 0, "cycle {} off cadence {}", cycle, a.cadence());
+            prop_assert_eq!(value, cycle as f64, "value survived decimation unchanged");
+        }
+    }
+
+    /// Folding per-shard profilers is order-independent: any permutation
+    /// of the shards exports identical gauges. This is what makes the
+    /// banded executor's per-thread profile fold safe to run in whatever
+    /// order the commit loop visits shards.
+    #[test]
+    fn profiler_fold_is_order_independent(
+        entries in proptest::collection::vec(
+            (0usize..4, 0u64..1_000_000, 1u64..100),
+            1..24,
+        ),
+        rotate in 0usize..24,
+    ) {
+        const PHASES: [&str; 4] = ["tiles", "commit", "fabric", "fabric.memory"];
+        let shards: Vec<PhaseProfiler> = entries
+            .iter()
+            .map(|&(phase, nanos, calls)| {
+                let mut p = PhaseProfiler::new(true);
+                p.add(PHASES[phase], u128::from(nanos), calls);
+                p
+            })
+            .collect();
+        let export = |order: &[PhaseProfiler]| {
+            let mut folded = PhaseProfiler::new(true);
+            for shard in order {
+                folded.fold(shard);
+            }
+            let mut r = Recorder::new();
+            folded.export(&mut r, "machine.");
+            r.registry.to_json()
+        };
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotate % shards.len());
+        prop_assert_eq!(export(&shards), export(&rotated));
     }
 }

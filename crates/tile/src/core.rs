@@ -196,6 +196,13 @@ impl CoreSim {
         self.state
     }
 
+    /// Current program counter (instruction index, not a byte address).
+    /// Exposed for architectural-state digests and debuggers.
+    #[inline]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
     /// Value of a register.
     #[inline]
     pub fn reg(&self, r: Reg) -> u32 {

@@ -182,8 +182,29 @@ pub trait MemoryModel: fmt::Debug + Send {
     /// Cycles each bank spent occupied serving granted accesses.
     fn bank_busy_cycles(&self) -> [u64; BANK_COUNT];
 
+    /// A deterministic fingerprint of the model's timing state, folded
+    /// into the machine's per-tile determinism digests. Two models that
+    /// have seen the same access stream must fingerprint identically;
+    /// models whose timing state diverged should (with high probability)
+    /// differ. The default suits a stateless model.
+    fn state_fingerprint(&self) -> u64 {
+        0
+    }
+
     /// Clones the model behind the object (tiles are `Clone`).
     fn clone_box(&self) -> Box<dyn MemoryModel>;
+}
+
+/// FNV-1a 64-bit offset basis for [`MemoryModel::state_fingerprint`]
+/// implementations.
+const FP_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one `u64` into an FNV-1a accumulator (little-endian bytes).
+fn fp_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Clone for Box<dyn MemoryModel> {
@@ -252,6 +273,14 @@ impl MemoryModel for FixedLatency {
 
     fn bank_busy_cycles(&self) -> [u64; BANK_COUNT] {
         self.served
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = fp_mix(FP_OFFSET, self.stamp);
+        for &s in &self.served {
+            h = fp_mix(h, s);
+        }
+        fp_mix(fp_mix(h, self.xbar.grants()), self.xbar.conflicts())
     }
 
     fn clone_box(&self) -> Box<dyn MemoryModel> {
@@ -389,6 +418,30 @@ impl MemoryModel for BankedRowBuffer {
 
     fn bank_busy_cycles(&self) -> [u64; BANK_COUNT] {
         self.busy_cycles
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = FP_OFFSET;
+        for bank in 0..BANK_COUNT {
+            h = fp_mix(h, self.last_grant[bank]);
+            h = fp_mix(h, self.busy_until[bank]);
+            h = fp_mix(h, self.busy_cycles[bank]);
+            h = fp_mix(h, self.open_row[bank].map_or(u64::MAX, u64::from));
+        }
+        h = fp_mix(h, self.grants);
+        h = fp_mix(h, self.conflicts);
+        h = fp_mix(h, self.row_hits);
+        h = fp_mix(h, self.row_misses);
+        if let Some(tlb) = &self.tlb {
+            h = fp_mix(h, tlb.hits);
+            h = fp_mix(h, tlb.misses);
+            for set in &tlb.sets {
+                for way in set {
+                    h = fp_mix(h, way.map_or(u64::MAX, u64::from));
+                }
+            }
+        }
+        h
     }
 
     fn clone_box(&self) -> Box<dyn MemoryModel> {

@@ -56,4 +56,9 @@ echo "==> validate_json"
 target/release/validate_json \
     BENCH_noc.json BENCH_machine.json BENCH_pdn.json TRACE_machine.json
 
+# Full runs record wall.profile.* gauges; smoke runs print an empty
+# table (the profiler is disabled so the smoke JSON stays deterministic).
+echo "==> phase profile (wsp-diff profile)"
+target/release/wsp-diff profile BENCH_noc.json BENCH_machine.json BENCH_pdn.json
+
 echo "Bench artefacts written and validated."

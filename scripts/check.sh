@@ -35,7 +35,7 @@ if [ "${WSP_UPDATE_GOLDEN:-0}" = "1" ]; then
         --json tests/golden/fig7_network_smoke.json >/dev/null
     target/release/workloads --smoke --stepping dense --threads 1 \
         --json tests/golden/workloads_smoke.json >/dev/null
-    echo "    refreshed tests/golden/*.json"
+    echo "    refreshed tests/golden/*.json (+ .digest sidecars)"
 fi
 for bin in fig7_network workloads; do
     golden="tests/golden/${bin}_smoke.json"
@@ -49,10 +49,34 @@ for bin in fig7_network workloads; do
                 diff "$golden" "$out" >&2 || true
                 exit 1
             fi
+            # The digest sidecar must match too; on divergence wsp-diff
+            # pinpoints the first bad cycle window and lane.
+            if ! cmp -s "$golden.digest" "$out.digest"; then
+                echo "FAIL: $bin digest journal diverged from $golden.digest at $stepping/$threads" >&2
+                target/release/wsp-diff digest "$golden.digest" "$out.digest" >&2 || true
+                exit 1
+            fi
         done
     done
 done
 echo "    byte-identical to the goldens across stepping modes and thread counts"
+
+echo "==> wsp-diff regression gate (bench JSON vs committed baselines)"
+# The tolerance-gated diff must pass on the baselines themselves...
+for bin in fig7_network workloads; do
+    target/release/wsp-diff bench --tolerances tests/golden/tolerances.txt \
+        "tests/golden/${bin}_smoke.json" "$DET_DIR/$bin-dense-t1.json" \
+        | sed 's/^/    /'
+done
+# ...and must trip on a synthetic out-of-tolerance metric change.
+sed 's/"fabric.cycles":[0-9.]*/"fabric.cycles":1/' \
+    "$DET_DIR/fig7_network-dense-t1.json" > "$DET_DIR/mutated.json"
+if target/release/wsp-diff bench --tolerances tests/golden/tolerances.txt \
+    "tests/golden/fig7_network_smoke.json" "$DET_DIR/mutated.json" >/dev/null; then
+    echo "FAIL: wsp-diff bench did not flag a mutated metric" >&2
+    exit 1
+fi
+echo "    gate passes on baselines and catches a synthetic regression"
 
 echo "==> banked memory smoke (--memory banked answers stay correct)"
 target/release/workloads --smoke --memory banked > "$DET_DIR/banked.txt"
