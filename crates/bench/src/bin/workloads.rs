@@ -455,10 +455,11 @@ fn full_wafer_machine_bench(sink: &mut SharedRecorder, threads: usize, stepping:
 }
 
 /// The stepping-mode measurement: the same halo-exchange machine at
-/// 16×16 run under the dense sweep and the active-set walk, asserting
-/// stats, per-core activity, and the runnable-tiles sample all match bit
-/// for bit, and recording both wall-clocks. Skipped in smoke mode (the
-/// determinism gate byte-compares the smoke JSON across modes).
+/// 16×16 run under the dense sweep, the active-set walk, and the event
+/// wheel, asserting stats, per-core activity, and the runnable-tiles
+/// sample all match bit for bit, and recording the wall-clocks. Skipped
+/// in smoke mode (the determinism gate byte-compares the smoke JSON
+/// across modes).
 fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
     header(
         "Sparse stepping",
@@ -479,6 +480,7 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
     };
     let (dense_stats, dense_wall, dense_activity, dense_hist) = run(Stepping::Dense);
     let (sparse_stats, sparse_wall, sparse_activity, sparse_hist) = run(Stepping::Sparse);
+    let (wheel_stats, wheel_wall, wheel_activity, wheel_hist) = run(Stepping::Wheel);
     assert_eq!(
         dense_stats, sparse_stats,
         "sparse stepping diverged from the dense sweep"
@@ -491,7 +493,13 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
         dense_hist, sparse_hist,
         "runnable-tile samples diverged between stepping modes"
     );
+    assert_eq!(
+        (dense_stats, &dense_activity, &dense_hist),
+        (wheel_stats, &wheel_activity, &wheel_hist),
+        "wheel stepping diverged from the dense sweep"
+    );
     let speedup = dense_wall.as_secs_f64() / sparse_wall.as_secs_f64();
+    let wheel_speedup = dense_wall.as_secs_f64() / wheel_wall.as_secs_f64();
     row(&["stepping", "wall ms", "speedup", "identical"]);
     row(&[
         "dense".to_string(),
@@ -505,6 +513,12 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
         format!("{speedup:.2}"),
         "true".to_string(),
     ]);
+    row(&[
+        "wheel".to_string(),
+        format!("{:.1}", wheel_wall.as_secs_f64() * 1e3),
+        format!("{wheel_speedup:.2}"),
+        "true".to_string(),
+    ]);
     sink.gauge_set(
         "wall.machine.sparse.halo.ms_dense",
         dense_wall.as_secs_f64() * 1e3,
@@ -514,6 +528,11 @@ fn sparse_vs_dense_machine_bench(sink: &mut SharedRecorder, threads: usize) {
         sparse_wall.as_secs_f64() * 1e3,
     );
     sink.gauge_set("wall.machine.sparse.halo.speedup", speedup);
+    sink.gauge_set(
+        "wall.machine.wheel.halo.ms_wheel",
+        wheel_wall.as_secs_f64() * 1e3,
+    );
+    sink.gauge_set("wall.machine.wheel.halo.speedup", wheel_speedup);
     sink.gauge_set("machine.sparse.halo.runnable_mean", sparse_hist.mean());
     result_line(
         "mean runnable tiles per cycle",

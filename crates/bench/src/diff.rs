@@ -4,10 +4,13 @@
 //! Three comparisons live here:
 //!
 //! * [`diff_reports`] — numeric diff of two `wsp-bench-v2` JSON reports'
-//!   counters and gauges under per-metric relative [`Tolerances`].
-//!   Gauges under the `wall.` prefix are wall-clock measurements and are
-//!   excluded automatically; everything else in the report is
-//!   deterministic and defaults to zero tolerance.
+//!   counters, gauges, and time-series points under per-metric relative
+//!   [`Tolerances`]. Gauges under the `wall.` prefix are wall-clock
+//!   measurements and are excluded automatically; a time-series'
+//!   `every`/`stride` cadence bookkeeping (the ring sampler widens its
+//!   stride as it decimates) is excluded by construction — only point
+//!   values at cycles present on *both* sides are compared. Everything
+//!   else in the report is deterministic and defaults to zero tolerance.
 //! * [`wsp_telemetry::first_divergence`] (re-used, not re-implemented) —
 //!   localises a determinism failure between two digest journals to a
 //!   cycle window and lane; the bin adds file I/O and rendering.
@@ -148,6 +151,51 @@ fn numeric_metrics(report: &Value) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
+/// Flattens one report's `metrics.timeseries` into per-series
+/// `cycle -> value` maps. The `every` and `stride` fields are cadence
+/// bookkeeping, not measurements — the ring sampler doubles `stride` as
+/// it decimates, so two correct runs of different lengths legitimately
+/// disagree on them — and are excluded from comparison by construction.
+fn timeseries_points(report: &Value) -> Result<BTreeMap<String, BTreeMap<u64, f64>>, String> {
+    let Some(map) = report
+        .get("metrics")
+        .and_then(|m| m.get("timeseries"))
+        .and_then(Value::as_object)
+    else {
+        return Ok(BTreeMap::new());
+    };
+    let mut out = BTreeMap::new();
+    for (name, series) in map {
+        let cycles = series
+            .get("cycles")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("timeseries.{name} has no cycles array"))?;
+        let values = series
+            .get("values")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("timeseries.{name} has no values array"))?;
+        if cycles.len() != values.len() {
+            return Err(format!(
+                "timeseries.{name}: {} cycles vs {} values",
+                cycles.len(),
+                values.len()
+            ));
+        }
+        let mut points = BTreeMap::new();
+        for (c, v) in cycles.iter().zip(values) {
+            let c = c
+                .as_u64()
+                .ok_or_else(|| format!("timeseries.{name}: non-integer cycle"))?;
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("timeseries.{name}: non-numeric value"))?;
+            points.insert(c, v);
+        }
+        out.insert(name.clone(), points);
+    }
+    Ok(out)
+}
+
 /// The schema string of a report, for the cheap compatibility check.
 fn schema_of(report: &Value) -> String {
     report
@@ -157,12 +205,17 @@ fn schema_of(report: &Value) -> String {
         .to_string()
 }
 
-/// Diffs two bench reports' counters and gauges under `tolerances`.
+/// Diffs two bench reports' counters, gauges, and time-series points
+/// under `tolerances`.
 ///
 /// A metric present on one side only is a regression (the report shape
 /// itself is part of the contract); `wall.`-prefixed gauges are excluded
 /// before any comparison, since wall-clock values are expected to differ
-/// run to run.
+/// run to run. Time-series are compared point-by-point as
+/// `timeseries.<name>[<cycle>]` at cycles present on both sides; a
+/// one-sided cycle is a decimation artifact (counted in
+/// [`BenchDiff::excluded`]), while a whole series present on one side
+/// only regresses like a renamed counter.
 ///
 /// # Errors
 ///
@@ -193,6 +246,38 @@ pub fn diff_reports(
     base.retain(|name, _| !wall(name));
     cand.retain(|name, _| !wall(name));
     diff.excluded -= base.len() + cand.len();
+
+    let base_ts = timeseries_points(&baseline)?;
+    let cand_ts = timeseries_points(&candidate)?;
+    let ts_names: std::collections::BTreeSet<&String> =
+        base_ts.keys().chain(cand_ts.keys()).collect();
+    for name in ts_names {
+        match (base_ts.get(name), cand_ts.get(name)) {
+            (Some(b), Some(c)) => {
+                for (cycle, bv) in b {
+                    if let Some(cv) = c.get(cycle) {
+                        base.insert(format!("timeseries.{name}[{cycle}]"), *bv);
+                        cand.insert(format!("timeseries.{name}[{cycle}]"), *cv);
+                    } else {
+                        // One-sided cycles are decimation artifacts, not
+                        // measurement differences.
+                        diff.excluded += 1;
+                    }
+                }
+                diff.excluded += c.keys().filter(|cy| !b.contains_key(cy)).count();
+            }
+            // A series on one side only flows through the shared loop
+            // below as a missing metric (its point count stands in for
+            // the value), regressing like a renamed counter.
+            (Some(b), None) => {
+                base.insert(format!("timeseries.{name}"), b.len() as f64);
+            }
+            (None, Some(c)) => {
+                cand.insert(format!("timeseries.{name}"), c.len() as f64);
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        }
+    }
 
     let names: std::collections::BTreeSet<String> =
         base.keys().chain(cand.keys()).cloned().collect();
@@ -320,6 +405,49 @@ mod tests {
         assert!(Tolerances::parse("counters.a\n").is_err());
         assert!(Tolerances::parse("counters.a -0.5\n").is_err());
         assert!(Tolerances::parse("counters.a 0.1 extra\n").is_err());
+    }
+
+    const WITH_TS: &str = r#"{"schema":"wsp-bench-v2","bench":"t","metrics":{"counters":{},
+        "gauges":{},"histograms":{},"series":{},
+        "timeseries":{"fabric.active":{"every":64,"stride":1,
+            "cycles":[64,128,192,256],"values":[1.0,2.0,3.0,4.0]}}}}"#;
+
+    #[test]
+    fn timeseries_points_are_compared_at_shared_cycles() {
+        let d = diff_reports(WITH_TS, WITH_TS, &Tolerances::default()).expect("diffs");
+        assert!(d.is_clean());
+        assert_eq!(d.passed, 4);
+        let cand = WITH_TS.replace("3.0", "9.0");
+        let d = diff_reports(WITH_TS, &cand, &Tolerances::default()).expect("diffs");
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].name, "timeseries.fabric.active[192]");
+    }
+
+    #[test]
+    fn decimated_candidate_compares_only_shared_cycles() {
+        // The candidate ran longer and its ring sampler widened the
+        // stride: half the baseline's cycles are gone and `stride`
+        // differs. Neither is a regression — cadence bookkeeping is
+        // excluded by construction, one-sided cycles by intersection.
+        let cand = WITH_TS
+            .replace("\"stride\":1", "\"stride\":2")
+            .replace("[64,128,192,256]", "[128,256]")
+            .replace("[1.0,2.0,3.0,4.0]", "[2.0,4.0]");
+        let d = diff_reports(WITH_TS, &cand, &Tolerances::default()).expect("diffs");
+        assert!(d.is_clean());
+        assert_eq!(d.passed, 2); // cycles 128 and 256
+        assert_eq!(d.excluded, 2); // baseline-only cycles 64 and 192
+    }
+
+    #[test]
+    fn one_sided_timeseries_is_a_regression() {
+        let cand = WITH_TS.replace("fabric.active", "fabric.renamed");
+        let d = diff_reports(WITH_TS, &cand, &Tolerances::default()).expect("diffs");
+        let names: Vec<&str> = d.regressions.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["timeseries.fabric.active", "timeseries.fabric.renamed"]
+        );
     }
 
     #[test]

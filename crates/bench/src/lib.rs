@@ -27,9 +27,10 @@ pub mod diff;
 /// - `--threads <n>` — worker threads for the deterministic parallel
 ///   backend (default: the machine's available parallelism; results are
 ///   bit-identical at any value);
-/// - `--stepping <dense|sparse>` — tile-visit strategy for the
-///   cycle-level engines (default: `sparse`; results are bit-identical
-///   in either mode);
+/// - `--stepping <dense|sparse|wheel>` — tile-visit strategy for the
+///   cycle-level engines (default: `sparse`; `wheel` adds event-driven
+///   jumps over idle/stalled windows; results are bit-identical in
+///   every mode);
 /// - `--memory <fixed|banked|banked+tlb>` — memory-timing backend for
 ///   the machine and workload layers (default: `fixed`, which is
 ///   byte-identical to the pre-trait model);
@@ -102,7 +103,7 @@ impl BenchOpts {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "usage: [--json <path>] [--trace <path>] [--seed <u64>] [--threads <n>] \
-                     [--stepping <dense|sparse>] [--memory <fixed|banked|banked+tlb>] \
+                     [--stepping <dense|sparse|wheel>] [--memory <fixed|banked|banked+tlb>] \
                      [--sample-every <n>] [--digest-every <n>] [--smoke]"
                 );
                 std::process::exit(2);
@@ -148,7 +149,7 @@ impl BenchOpts {
                 "--stepping" => {
                     let raw = args.next().ok_or("--stepping requires a value")?;
                     opts.stepping = Stepping::parse(&raw)
-                        .ok_or_else(|| format!("invalid stepping {raw:?} (dense|sparse)"))?;
+                        .ok_or_else(|| format!("invalid stepping {raw:?} (dense|sparse|wheel)"))?;
                 }
                 "--memory" => {
                     let raw = args.next().ok_or("--memory requires a value")?;
@@ -233,7 +234,8 @@ fn write_file(path: &Path, contents: &str) {
 
 /// Encodes an executor label (as reported by the fabric's or machine's
 /// `executor()`) as a stable numeric gauge value, since telemetry gauges
-/// are `f64`-valued: `sequential` → 0, `banded` → 1, `sparse` → 2.
+/// are `f64`-valued: `sequential` → 0, `banded` → 1, `sparse` → 2,
+/// `wheel` → 3.
 /// Unknown labels map to -1 so a renamed path shows up in reports
 /// instead of silently aliasing a real one.
 pub fn executor_code(label: &str) -> f64 {
@@ -241,6 +243,7 @@ pub fn executor_code(label: &str) -> f64 {
         "sequential" => 0.0,
         "banded" => 1.0,
         "sparse" => 2.0,
+        "wheel" => 3.0,
         _ => -1.0,
     }
 }
@@ -369,6 +372,10 @@ mod tests {
         assert!(parse(&["--threads", "nope"]).is_err());
         assert!(parse(&["--stepping"]).is_err());
         assert!(parse(&["--stepping", "eager"]).is_err());
+        assert_eq!(
+            parse(&["--stepping", "wheel"]).expect("valid").stepping,
+            Stepping::Wheel
+        );
         assert!(parse(&["--memory"]).is_err());
         assert!(parse(&["--memory", "dram"]).is_err());
         assert!(parse(&["--sample-every"]).is_err());
@@ -383,6 +390,7 @@ mod tests {
         assert_eq!(executor_code("sequential"), 0.0);
         assert_eq!(executor_code("banded"), 1.0);
         assert_eq!(executor_code("sparse"), 2.0);
+        assert_eq!(executor_code("wheel"), 3.0);
         assert_eq!(executor_code("mystery"), -1.0);
     }
 

@@ -19,5 +19,6 @@
 pub mod parallel;
 pub mod rng;
 pub mod units;
+pub mod wheel;
 
 pub use rng::seeded_rng;

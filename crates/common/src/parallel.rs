@@ -224,9 +224,13 @@ impl WorkerPool {
 ///
 /// `Sparse` is the default: the active-set schedulers in `wsp-noc` and
 /// `wsp-core` are bit-identical to the dense sweep by construction (see
-/// DESIGN.md "Active-set scheduling"), so dense mode exists as the
+/// DESIGN.md "Simulator internals"), so dense mode exists as the
 /// reference the equivalence tests and the CI byte-compare gate run
-/// against.
+/// against. `Wheel` layers event-driven cycle skipping on top of the
+/// sparse active sets: whenever nothing can make progress until a known
+/// future deadline (an [`EventWheel`](crate::wheel::EventWheel) entry, a
+/// stall expiry), simulated `now` jumps straight there and the skipped
+/// window is replayed in bulk — still bit-identical to dense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Stepping {
     /// Visit every tile every cycle — the reference sweep.
@@ -234,14 +238,17 @@ pub enum Stepping {
     /// Visit only tiles the activity tracker says can make progress.
     #[default]
     Sparse,
+    /// Sparse, plus event-wheel skips over fully idle/stalled windows.
+    Wheel,
 }
 
 impl Stepping {
-    /// Parses a CLI value (`"dense"` / `"sparse"`).
+    /// Parses a CLI value (`"dense"` / `"sparse"` / `"wheel"`).
     pub fn parse(raw: &str) -> Option<Stepping> {
         match raw {
             "dense" => Some(Stepping::Dense),
             "sparse" => Some(Stepping::Sparse),
+            "wheel" => Some(Stepping::Wheel),
             _ => None,
         }
     }
@@ -469,6 +476,7 @@ mod tests {
     fn stepping_parses_and_defaults_to_sparse() {
         assert_eq!(Stepping::parse("dense"), Some(Stepping::Dense));
         assert_eq!(Stepping::parse("sparse"), Some(Stepping::Sparse));
+        assert_eq!(Stepping::parse("wheel"), Some(Stepping::Wheel));
         assert_eq!(Stepping::parse("turbo"), None);
         assert_eq!(Stepping::default(), Stepping::Sparse);
     }

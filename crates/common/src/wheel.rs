@@ -1,0 +1,266 @@
+//! A hierarchical timing wheel (calendar queue) for event-driven cycle
+//! skipping.
+//!
+//! The simulators in this workspace advance a `u64` cycle counter. Most
+//! cycles, something moves and the hot loop has to run; but whole windows
+//! — a traffic drain waiting out a service delay, a machine whose every
+//! running core is mid-freeze on a memory stall — contain *no* state
+//! change except the clock itself. [`EventWheel`] is the shared structure
+//! that makes those windows skippable: endpoints schedule future
+//! deadlines (`ready` cycles, stall expiries), and the simulator asks
+//! "when is the next event?" instead of ticking empty cycles to find out.
+//!
+//! Deadlines are bucketed into [`LEVELS`] levels of [`SLOTS`] slots each;
+//! level `k` spans `SLOTS^(k+1)` cycles, so deadlines up to ~16.7M cycles
+//! out land in a slot and anything beyond parks in an overflow list. A
+//! cached minimum makes the common idle query — "is anything due by cycle
+//! `t`?" — O(1); the bucket sweep runs only when events actually pop.
+//!
+//! Determinism contract: [`EventWheel::pop_due`] returns due items
+//! ordered by `(deadline, insertion order)`. With equal deadlines this is
+//! FIFO, so replacing a sorted pending-queue with a wheel is
+//! bit-identical for the constant-delay schedules the simulators use.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsp_common::wheel::EventWheel;
+//!
+//! let mut wheel = EventWheel::new();
+//! wheel.schedule(10, "late");
+//! wheel.schedule(3, "early");
+//! assert_eq!(wheel.next_at(), Some(3));
+//! assert_eq!(wheel.pop_due(5), vec!["early"]);
+//! assert_eq!(wheel.next_at(), Some(10));
+//! assert_eq!(wheel.pop_due(20), vec!["late"]);
+//! assert!(wheel.is_empty());
+//! ```
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+
+/// Slots per wheel level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+
+/// Number of hierarchical levels; deadlines past `SLOTS^LEVELS` cycles
+/// from the current horizon go to the overflow list.
+pub const LEVELS: usize = 4;
+
+/// One scheduled event.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A hierarchical timing wheel mapping future cycles to scheduled items.
+///
+/// See the module docs for the structure and the determinism contract.
+#[derive(Debug, Clone)]
+pub struct EventWheel<T> {
+    /// The current horizon: every cycle `<= now` has already been popped.
+    now: u64,
+    /// Monotone insertion stamp, the FIFO tie-break within a deadline.
+    seq: u64,
+    len: usize,
+    /// Cached earliest pending deadline, so the idle-path query is O(1).
+    next_at: Option<u64>,
+    /// `levels[k][slot]` holds entries whose deadline's level-`k` digit
+    /// is `slot` (placement is by distance from `now` at schedule time).
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// Entries beyond the wheel horizon.
+    overflow: Vec<Entry<T>>,
+}
+
+impl<T> Default for EventWheel<T> {
+    fn default() -> Self {
+        EventWheel::new()
+    }
+}
+
+impl<T> EventWheel<T> {
+    /// An empty wheel at cycle 0.
+    pub fn new() -> Self {
+        EventWheel {
+            now: 0,
+            seq: 0,
+            len: 0,
+            next_at: None,
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+        }
+    }
+
+    /// The wheel's current horizon (last cycle passed to [`pop_due`],
+    /// monotone).
+    ///
+    /// [`pop_due`]: EventWheel::pop_due
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest pending deadline, if any. This is the "next event"
+    /// query a cycle-skipping simulator gates its jump on; deadlines at
+    /// or before [`now`](EventWheel::now) are due immediately.
+    pub fn next_at(&self) -> Option<u64> {
+        self.next_at
+    }
+
+    /// Schedules `item` at cycle `at`. Deadlines at or before the current
+    /// horizon are kept (not dropped): they pop on the next
+    /// [`pop_due`](EventWheel::pop_due) call, in `(at, insertion)` order.
+    pub fn schedule(&mut self, at: u64, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.next_at = Some(self.next_at.map_or(at, |m| m.min(at)));
+        let entry = Entry { at, seq, item };
+        // Placement is by distance from the horizon; an overdue deadline
+        // parks in the nearest slot (its true `at` still orders the pop).
+        let delta = at.saturating_sub(self.now).max(1);
+        let bits = 64 - delta.leading_zeros();
+        let level = ((bits - 1) / SLOT_BITS) as usize;
+        if level < LEVELS {
+            let slot = (at >> (SLOT_BITS * level as u32)) as usize & (SLOTS - 1);
+            self.levels[level][slot].push(entry);
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Advances the horizon to `t` and returns every item whose deadline
+    /// is `<= t`, ordered by `(deadline, insertion order)`. The fast path
+    /// — nothing due — is a single cached-minimum comparison.
+    pub fn pop_due(&mut self, t: u64) -> Vec<T> {
+        self.now = self.now.max(t);
+        if self.next_at.is_none_or(|m| m > t) {
+            return Vec::new();
+        }
+        let mut due: Vec<Entry<T>> = Vec::new();
+        let mut remaining_min: Option<u64> = None;
+        let mut sweep = |bucket: &mut Vec<Entry<T>>| {
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].at <= t {
+                    due.push(bucket.swap_remove(i));
+                } else {
+                    remaining_min =
+                        Some(remaining_min.map_or(bucket[i].at, |m| m.min(bucket[i].at)));
+                    i += 1;
+                }
+            }
+        };
+        for level in &mut self.levels {
+            for slot in level {
+                sweep(slot);
+            }
+        }
+        sweep(&mut self.overflow);
+        self.len -= due.len();
+        self.next_at = remaining_min;
+        due.sort_by_key(|e| (e.at, e.seq));
+        due.into_iter().map(|e| e.item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wheel_pops_nothing_and_advances() {
+        let mut wheel: EventWheel<u32> = EventWheel::new();
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_at(), None);
+        assert_eq!(wheel.pop_due(1_000), Vec::<u32>::new());
+        assert_eq!(wheel.now(), 1_000);
+    }
+
+    #[test]
+    fn pops_in_deadline_then_insertion_order() {
+        let mut wheel = EventWheel::new();
+        wheel.schedule(7, "b1");
+        wheel.schedule(3, "a");
+        wheel.schedule(7, "b2");
+        wheel.schedule(100, "c");
+        assert_eq!(wheel.len(), 4);
+        assert_eq!(wheel.next_at(), Some(3));
+        assert_eq!(wheel.pop_due(7), vec!["a", "b1", "b2"]);
+        assert_eq!(wheel.next_at(), Some(100));
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.pop_due(99), Vec::<&str>::new());
+        assert_eq!(wheel.pop_due(100), vec!["c"]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_are_fifo_across_every_horizon() {
+        // The property the traffic layer's response queue relies on: a
+        // constant service delay schedules non-decreasing deadlines, and
+        // the wheel must replay them in exactly the scheduling order.
+        let mut wheel = EventWheel::new();
+        let mut expected = Vec::new();
+        for i in 0..200u64 {
+            wheel.schedule(10 + i / 4, i);
+            expected.push(i);
+        }
+        let mut got = Vec::new();
+        for t in 0..100 {
+            got.extend(wheel.pop_due(t));
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn far_deadlines_park_in_overflow_and_still_pop() {
+        let mut wheel = EventWheel::new();
+        let far = 1u64 << 40; // beyond the 4-level horizon
+        wheel.schedule(far, "far");
+        wheel.schedule(5, "near");
+        assert_eq!(wheel.next_at(), Some(5));
+        assert_eq!(wheel.pop_due(10), vec!["near"]);
+        assert_eq!(wheel.next_at(), Some(far));
+        assert_eq!(wheel.pop_due(far), vec!["far"]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn overdue_schedules_are_kept_not_dropped() {
+        let mut wheel = EventWheel::new();
+        assert!(wheel.pop_due(50).is_empty());
+        wheel.schedule(10, "late-arrival"); // already past the horizon
+        assert_eq!(wheel.next_at(), Some(10));
+        assert_eq!(wheel.pop_due(50), vec!["late-arrival"]);
+    }
+
+    #[test]
+    fn jump_skips_match_stepped_pops() {
+        // Popping cycle by cycle and popping in one jump must yield the
+        // same multiset in the same order — the skip/replay equivalence.
+        let deadlines: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % 500).collect();
+        let mut stepped = EventWheel::new();
+        let mut jumped = EventWheel::new();
+        for (i, &at) in deadlines.iter().enumerate() {
+            stepped.schedule(at, i);
+            jumped.schedule(at, i);
+        }
+        let mut by_step = Vec::new();
+        for t in 0..=500 {
+            by_step.extend(stepped.pop_due(t));
+        }
+        assert_eq!(jumped.pop_due(500), by_step);
+    }
+}

@@ -302,9 +302,10 @@ impl MultiTileMachine {
     }
 
     /// The execution path the tile-step phase currently takes, for bench
-    /// reporting: `"sparse"`, `"banded"`, or `"sequential"`.
+    /// reporting: `"wheel"`, `"sparse"`, `"banded"`, or `"sequential"`.
     pub fn executor(&self) -> &'static str {
         match (self.stepping, self.threads()) {
+            (Stepping::Wheel, _) => "wheel",
             (Stepping::Sparse, _) => "sparse",
             (Stepping::Dense, t) if t > 1 => "banded",
             (Stepping::Dense, _) => "sequential",
@@ -525,6 +526,13 @@ impl MultiTileMachine {
         if self.liveness_dirty {
             self.refresh_liveness();
         }
+        if self.stepping == Stepping::Wheel && self.config.latency_model() == LatencyModel::Fabric {
+            let window = self.wheel_skip_window();
+            if window > 0 {
+                self.skip_stall_window(window);
+                return Ok(());
+            }
+        }
         self.cycles += 1;
         let result = match self.config.latency_model() {
             LatencyModel::Analytic => {
@@ -547,6 +555,95 @@ impl MultiTileMachine {
             }
         }
         result
+    }
+
+    /// How many whole cycles the event wheel may jump right now, or 0
+    /// when the next cycle must execute normally.
+    ///
+    /// A window opens only when the machine is *fully stalled*: nothing
+    /// is in flight anywhere (`in_flight`, `deferred`, and the fabric are
+    /// all empty — which forces `blocked_cores` to all-zero) and every
+    /// running core is frozen behind a positive `stall_pending`. During
+    /// such a window the dense sweep provably does nothing but decrement
+    /// each frozen core's `stall_pending` by one per cycle: a frozen
+    /// [`CoreSim::step`] touches no other state, no packets move, and
+    /// the lazily-stamped memory models are never consulted. The window
+    /// therefore ends at the smallest `stall_pending` — the next cycle
+    /// at which some core thaws and issues — clamped to the next sample
+    /// and digest boundaries so every observation cycle is stepped-or-
+    /// skipped-to exactly, never jumped over.
+    ///
+    /// Cores holding a delivered [`PendingAccess::Ready`] value have
+    /// `stall_pending == 0` (remote blocks never arm the freeze), so the
+    /// minimum scan rejects those windows automatically; under the Fixed
+    /// memory model no core ever freezes and the scan exits on the first
+    /// running core.
+    fn wheel_skip_window(&mut self) -> u64 {
+        if self.running_cores == 0
+            || !self.in_flight.is_empty()
+            || !self.deferred.is_empty()
+            || self.fabric.in_flight() != 0
+        {
+            return 0;
+        }
+        let mut window = u64::MAX;
+        for tile_cores in &self.cores {
+            for core in tile_cores {
+                if core.state() != CoreState::Running {
+                    continue;
+                }
+                let pending = core.stall_pending();
+                if pending == 0 {
+                    return 0;
+                }
+                window = window.min(pending);
+            }
+        }
+        if window == u64::MAX {
+            return 0;
+        }
+        if let Some(periods) = self.cycles.checked_div(self.sample_every) {
+            window = window.min((periods + 1) * self.sample_every - self.cycles);
+        }
+        if let Some(every) = self.fabric.journal_mut().map(|j| j.every()) {
+            if let Some(periods) = self.cycles.checked_div(every) {
+                window = window.min((periods + 1) * every - self.cycles);
+            }
+        }
+        window
+    }
+
+    /// Jumps the machine `window` cycles through a fully stalled span,
+    /// replaying the dense sweep's bookkeeping in bulk: the runnable-tile
+    /// histogram gets `window` identical observations, every frozen core
+    /// drains `window` freeze cycles in one subtraction, the fabric skips
+    /// its own gauges/digests, and the endpoint cycle is offered to the
+    /// machine's sample series and digest lanes exactly as a stepped
+    /// cycle would be. `wheel_skip_window` guarantees no observation
+    /// boundary lies strictly inside the span.
+    fn skip_stall_window(&mut self, window: u64) {
+        let runnable = self
+            .live_cores
+            .iter()
+            .zip(&self.blocked_cores)
+            .filter(|&(&l, &b)| l > b)
+            .count();
+        self.cycles += window;
+        self.runnable_tiles.record_n(runnable as u64, window);
+        for (t, tile_cores) in self.cores.iter_mut().enumerate() {
+            if self.live_cores[t] == 0 {
+                continue;
+            }
+            for core in tile_cores {
+                if core.state() == CoreState::Running {
+                    core.drain_stall_cycles(window);
+                }
+            }
+            self.last_stepped[t] = self.cycles;
+        }
+        self.fabric.skip_cycles(window);
+        self.sample_cycle();
+        self.record_digest_lanes();
     }
 
     /// Offers this cycle's gauge samples to the machine's series (the
@@ -660,8 +757,10 @@ impl MultiTileMachine {
     fn step_tiles_analytic(&mut self) -> Result<(), RunMachineError> {
         let array = self.faults.array();
         // No per-cycle crossbar reset: the memory models stamp requests
-        // with the absolute cycle and free their ports lazily.
-        let sparse = self.stepping == Stepping::Sparse;
+        // with the absolute cycle and free their ports lazily. Wheel
+        // stepping visits tiles exactly like sparse within an executed
+        // cycle; the cross-cycle skip lives in [`MultiTileMachine::step`].
+        let sparse = self.stepping != Stepping::Dense;
         let runnable_now = self
             .live_cores
             .iter()
@@ -722,7 +821,7 @@ impl MultiTileMachine {
         let cycles = self.cycles;
         let telemetry_on = self.sink.enabled();
         let profile_on = self.profiler.enabled();
-        let sparse = self.stepping == Stepping::Sparse;
+        let sparse = self.stepping != Stepping::Dense;
 
         // Active-set pre-scan, in both stepping modes: the telemetry
         // sample and the shard-count decision are pure functions of
@@ -739,7 +838,7 @@ impl MultiTileMachine {
 
         let shard_count = match self.stepping {
             Stepping::Dense => self.exec.threads(),
-            Stepping::Sparse => self.exec.shards_for(active),
+            Stepping::Sparse | Stepping::Wheel => self.exec.shards_for(active),
         };
         let bands = band_ranges(tiles, shard_count);
 
@@ -2080,8 +2179,68 @@ mod tests {
                 baseline,
                 "sparse, threads = {threads}"
             );
+            assert_eq!(
+                run(Stepping::Wheel, threads),
+                baseline,
+                "wheel, threads = {threads}"
+            );
         }
         assert_eq!(run(Stepping::Dense, 8), baseline, "dense, threads = 8");
+    }
+
+    #[test]
+    fn wheel_stepping_jumps_frozen_stall_windows() {
+        // Event-wheel acceptance at machine level: a lone core ping-
+        // ponging rows of its own banked memory freezes behind a row-miss
+        // stall after every load, with nothing in flight anywhere — so
+        // the wheel must jump each frozen window whole. The fabric tick
+        // counter is the wall-clock-free gauge: dense executes one tick
+        // per cycle; the wheel's ticks stay in the order of the retired
+        // instruction count, far below the cycle count.
+        let hot = TileCoord::new(0, 0);
+        let run = |stepping: Stepping| {
+            let cfg = SystemConfig::with_array(TileArray::new(4, 4))
+                .with_memory_model(MemoryModelKind::Banked);
+            let mut m = MultiTileMachine::new(cfg, FaultMap::none(cfg.array()));
+            m.set_stepping(stepping);
+            let near = m.global_address(hot, 0).expect("ok");
+            let far = m.global_address(hot, 8192).expect("ok");
+            let program = Program::builder()
+                .ldi(Reg::R1, near)
+                .ldi(Reg::R2, far)
+                .ldi(Reg::R3, 64)
+                .ldi(Reg::R0, 0)
+                .label("loop")
+                .ld(Reg::R4, Reg::R1, 0)
+                .ld(Reg::R5, Reg::R2, 0)
+                .addi(Reg::R3, Reg::R3, -1)
+                .bne(Reg::R3, Reg::R0, "loop")
+                .halt()
+                .build()
+                .expect("builds");
+            m.load_program(hot, 0, &program).expect("ok");
+            let stats = m.run_until_halt(1_000_000).expect("halts");
+            let ticks = m.fabric().ticks_executed();
+            (
+                stats,
+                m.per_tile_activity(),
+                m.runnable_tiles().clone(),
+                m.memory_profile(),
+                ticks,
+            )
+        };
+        let (stats, activity, runnable, profile, dense_ticks) = run(Stepping::Dense);
+        let (w_stats, w_activity, w_runnable, w_profile, wheel_ticks) = run(Stepping::Wheel);
+        assert_eq!(w_stats, stats);
+        assert_eq!(w_activity, activity);
+        assert_eq!(w_runnable, runnable);
+        assert_eq!(w_profile, profile);
+        assert_eq!(dense_ticks, stats.cycles, "dense ticks every cycle");
+        assert!(
+            wheel_ticks < stats.cycles / 2,
+            "the wheel must skip most frozen cycles: {wheel_ticks} ticks over {} cycles",
+            stats.cycles
+        );
     }
 
     #[test]
@@ -2165,6 +2324,11 @@ mod tests {
                 run(Stepping::Sparse, threads),
                 baseline,
                 "sparse, threads = {threads}"
+            );
+            assert_eq!(
+                run(Stepping::Wheel, threads),
+                baseline,
+                "wheel, threads = {threads}"
             );
         }
         assert_eq!(run(Stepping::Dense, 8), baseline, "dense, threads = 8");

@@ -84,6 +84,9 @@ use crate::routing::{next_hop, NetworkKind};
 /// Index of the local injection/ejection port in each router's queue array.
 const LOCAL: usize = 4;
 
+/// Sentinel in [`Network::head_out`] for an empty input FIFO.
+const EMPTY_HEAD: u8 = u8::MAX;
+
 /// The local injection FIFO is deeper than a link FIFO by this factor —
 /// it models the tile's outbound staging buffer in local SRAM.
 const LOCAL_QUEUE_FACTOR: usize = 4;
@@ -209,6 +212,19 @@ struct Network {
     /// `occ[t] > 0 ⟺ t can plan a move/stall/rr-update` is what makes
     /// sparse stepping bit-identical to the dense sweep.
     occ: Vec<u32>,
+    /// Struct-of-arrays mirror of the routing decision at each FIFO head
+    /// (`EMPTY_HEAD` when the FIFO is empty), so the plan phase reads a
+    /// flat `[u8; 5]` instead of chasing five deque heads through
+    /// `output_port_of`. Valid because a queued packet's route is fixed
+    /// while it waits: the only `leg` mutation happens between an eject
+    /// pop and a fresh relay [`push`](Network::push).
+    head_out: Vec<[u8; 5]>,
+    /// Per-row occupancy bitmask: bit `col` of `row_mask[row]` is set iff
+    /// `occ[row * mask_cols + col] > 0`. The dense sweep walks set bits
+    /// with `trailing_zeros` instead of touching every idle tile.
+    row_mask: Vec<u64>,
+    /// Columns per `row_mask` word; 0 disables the mask (cols > 64).
+    mask_cols: usize,
     /// Tiles with `occ > 0` (plus possibly drained stragglers until the
     /// next [`Network::prune_wake`]). Every push registers its tile here.
     wake: Vec<usize>,
@@ -217,20 +233,62 @@ struct Network {
 }
 
 impl Network {
-    fn new(tiles: usize) -> Self {
+    fn new(array: TileArray) -> Self {
+        let tiles = array.tile_count();
+        let cols = array.cols() as usize;
+        let mask_cols = if cols <= 64 { cols } else { 0 };
         Network {
             queues: (0..tiles).map(|_| Default::default()).collect(),
             rr: vec![[0; 5]; tiles],
             occ: vec![0; tiles],
+            head_out: vec![[EMPTY_HEAD; 5]; tiles],
+            row_mask: if mask_cols != 0 {
+                vec![0; array.rows() as usize]
+            } else {
+                Vec::new()
+            },
+            mask_cols,
             wake: Vec::new(),
             in_wake: vec![false; tiles],
         }
+    }
+
+    /// Enqueues `packet` into FIFO `port` of `tile_idx`, maintaining the
+    /// occupancy count, the wake list, the row bitmask, and the cached
+    /// head routing decision. All fabric pushes go through here.
+    #[inline]
+    fn push(&mut self, array: TileArray, tile_idx: usize, port: usize, packet: FabricPacket) {
+        let queue = &mut self.queues[tile_idx][port];
+        queue.push_back(packet);
+        if queue.len() == 1 {
+            self.head_out[tile_idx][port] =
+                output_port_of(array, array.coord_of(tile_idx), &queue[0]) as u8;
+        }
+        self.note_push(tile_idx);
+    }
+
+    /// Dequeues the head of FIFO `port` at `tile_idx`, refreshing the
+    /// cached routing decision for the new head. All fabric pops go
+    /// through here.
+    #[inline]
+    fn pop(&mut self, array: TileArray, tile_idx: usize, port: usize) -> FabricPacket {
+        let queue = &mut self.queues[tile_idx][port];
+        let packet = queue.pop_front().expect("planned head");
+        self.head_out[tile_idx][port] = match queue.front() {
+            Some(next) => output_port_of(array, array.coord_of(tile_idx), next) as u8,
+            None => EMPTY_HEAD,
+        };
+        self.note_pop(tile_idx);
+        packet
     }
 
     /// Registers one packet pushed into any FIFO of `tile_idx`.
     #[inline]
     fn note_push(&mut self, tile_idx: usize) {
         self.occ[tile_idx] += 1;
+        if self.mask_cols != 0 {
+            self.row_mask[tile_idx / self.mask_cols] |= 1u64 << (tile_idx % self.mask_cols);
+        }
         if !self.in_wake[tile_idx] {
             self.in_wake[tile_idx] = true;
             self.wake.push(tile_idx);
@@ -242,6 +300,9 @@ impl Network {
     #[inline]
     fn note_pop(&mut self, tile_idx: usize) {
         self.occ[tile_idx] -= 1;
+        if self.occ[tile_idx] == 0 && self.mask_cols != 0 {
+            self.row_mask[tile_idx / self.mask_cols] &= !(1u64 << (tile_idx % self.mask_cols));
+        }
     }
 
     /// Canonicalises the wake list: drops drained tiles and sorts
@@ -314,22 +375,30 @@ impl PlanCtx<'_> {
     /// FIFOs empty plans nothing — the fact the sparse scheduler leans on.
     fn plan_tile(&self, network: &Network, tile_idx: usize, moves: &mut Vec<PlannedMove>) {
         let tile = self.array.coord_of(tile_idx);
-        let queues = &network.queues[tile_idx];
-        // One routing decision per queue head; a head contends for
-        // exactly one output port, so grants never overlap.
-        let head_out: [Option<usize>; 5] = std::array::from_fn(|in_port| {
-            queues[in_port]
-                .front()
-                .map(|p| output_port_of(self.array, tile, p))
-        });
+        // The cached routing decision per queue head; a head contends for
+        // exactly one output port, so grants never overlap. Fold the five
+        // heads into per-output-port contender bitmasks.
+        let head_out = network.head_out[tile_idx];
+        let mut want = [0u8; 5];
+        for (in_port, &out) in head_out.iter().enumerate() {
+            if out != EMPTY_HEAD {
+                want[out as usize] |= 1 << in_port;
+            }
+        }
         // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
         #[allow(clippy::needless_range_loop)]
         for out_port in 0..5 {
+            let contenders = u32::from(want[out_port]);
+            if contenders == 0 {
+                continue;
+            }
+            // Branchless round-robin grant: rotate the 5-bit contender
+            // mask so the pointer sits at bit 0; the winner is then the
+            // lowest set bit — exactly the first hit of the old
+            // `(start + o) % 5` scan.
             let start = network.rr[tile_idx][out_port];
-            let grant = (0..5)
-                .map(|o| (start + o) % 5)
-                .find(|&in_port| head_out[in_port] == Some(out_port));
-            let Some(in_port) = grant else { continue };
+            let rotated = ((contenders >> start) | (contenders << (5 - start))) & 0x1f;
+            let in_port = (start + rotated.trailing_zeros() as usize) % 5;
             if out_port == LOCAL {
                 moves.push(PlannedMove::Eject { tile_idx, in_port });
                 continue;
@@ -357,12 +426,38 @@ impl PlanCtx<'_> {
         }
     }
 
-    /// Plans one dense band of tiles (the reference sweep).
+    /// Plans one dense band of tiles (the reference sweep). When the row
+    /// bitmasks are live (cols ≤ 64) the walk visits only occupied tiles
+    /// via `trailing_zeros` — identical output, because a tile with all
+    /// five FIFOs empty plans nothing.
     fn plan_band(&self, band: Range<usize>) -> [Vec<PlannedMove>; 2] {
         let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
         for (network, moves) in self.networks.iter().zip(out.iter_mut()) {
-            for tile_idx in band.clone() {
-                self.plan_tile(network, tile_idx, moves);
+            let cols = network.mask_cols;
+            if cols == 0 {
+                for tile_idx in band.clone() {
+                    self.plan_tile(network, tile_idx, moves);
+                }
+                continue;
+            }
+            // Bands are tile-index ranges, so clip the first and last
+            // rows' masks to the band boundaries.
+            let mut row = band.start / cols;
+            while row * cols < band.end {
+                let base = row * cols;
+                let mut bits = network.row_mask[row];
+                if base < band.start {
+                    bits &= !0u64 << (band.start - base);
+                }
+                if base + cols > band.end {
+                    bits &= (1u64 << (band.end - base)) - 1;
+                }
+                while bits != 0 {
+                    let col = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.plan_tile(network, base + col, moves);
+                }
+                row += 1;
             }
         }
         out
@@ -393,6 +488,10 @@ pub struct Fabric {
     /// Per-link stats: `[network][tile][direction]`.
     links: [Vec<[LinkStats; 4]>; 2],
     cycle: u64,
+    /// Ticks actually executed (excludes cycles jumped by
+    /// [`Fabric::skip_cycles`]) — the wall-clock-free gauge the
+    /// O(events)-termination tests assert on.
+    ticks: u64,
     next_id: u64,
     relay_forwards: u64,
     link_traversals: u64,
@@ -433,12 +532,13 @@ impl Fabric {
         Fabric {
             array,
             queue_capacity,
-            networks: [Network::new(tiles), Network::new(tiles)],
+            networks: [Network::new(array), Network::new(array)],
             links: [
                 vec![[LinkStats::default(); 4]; tiles],
                 vec![[LinkStats::default(); 4]; tiles],
             ],
             cycle: 0,
+            ticks: 0,
             next_id: 0,
             relay_forwards: 0,
             link_traversals: 0,
@@ -491,9 +591,10 @@ impl Fabric {
     }
 
     /// The execution path ticks currently take, for bench reporting:
-    /// `"sparse"`, `"banded"`, or `"sequential"`.
+    /// `"wheel"`, `"sparse"`, `"banded"`, or `"sequential"`.
     pub fn executor(&self) -> &'static str {
         match (self.stepping, self.threads()) {
+            (Stepping::Wheel, _) => "wheel",
             (Stepping::Sparse, _) => "sparse",
             (Stepping::Dense, t) if t > 1 => "banded",
             (Stepping::Dense, _) => "sequential",
@@ -588,8 +689,7 @@ impl Fabric {
         let idx = self.array.index_of(packet.src);
         let network = &mut self.networks[net];
         if network.queues[idx][LOCAL].len() < self.queue_capacity * LOCAL_QUEUE_FACTOR {
-            network.queues[idx][LOCAL].push_back(packet);
-            network.note_push(idx);
+            network.push(self.array, idx, LOCAL, packet);
             true
         } else {
             false
@@ -602,9 +702,7 @@ impl Fabric {
     pub fn inject_unbounded(&mut self, packet: FabricPacket) {
         let net = packet.network() as usize;
         let idx = self.array.index_of(packet.src);
-        let network = &mut self.networks[net];
-        network.queues[idx][LOCAL].push_back(packet);
-        network.note_push(idx);
+        self.networks[net].push(self.array, idx, LOCAL, packet);
     }
 
     /// Packets currently queued anywhere in the fabric.
@@ -627,6 +725,7 @@ impl Fabric {
     /// bit-identical at any thread count.
     pub fn tick(&mut self) -> Vec<FabricPacket> {
         self.cycle += 1;
+        self.ticks += 1;
 
         // Canonicalise the wake lists and sample the active set in both
         // stepping modes: the sample is a pure function of queue state, so
@@ -667,7 +766,7 @@ impl Fabric {
                         pool.map(bands, |_, band| ctx.plan_band(band))
                     }
                 },
-                Stepping::Sparse => {
+                Stepping::Sparse | Stepping::Wheel => {
                     let shards = self.exec.shards_for(active);
                     if shards <= 1 {
                         vec![ctx.plan_wake_slices([&self.networks[0].wake, &self.networks[1].wake])]
@@ -706,10 +805,7 @@ impl Fabric {
                     match *mv {
                         PlannedMove::Eject { tile_idx, in_port } => {
                             let network = &mut self.networks[net_idx];
-                            let packet = network.queues[tile_idx][in_port]
-                                .pop_front()
-                                .expect("planned head");
-                            network.note_pop(tile_idx);
+                            let packet = network.pop(self.array, tile_idx, in_port);
                             network.rr[tile_idx][LOCAL] = (in_port + 1) % 5;
                             ejected.push(packet);
                         }
@@ -721,10 +817,7 @@ impl Fabric {
                             in_side,
                         } => {
                             let network = &mut self.networks[net_idx];
-                            let mut packet = network.queues[tile_idx][in_port]
-                                .pop_front()
-                                .expect("planned head");
-                            network.note_pop(tile_idx);
+                            let mut packet = network.pop(self.array, tile_idx, in_port);
                             network.rr[tile_idx][out_port] = (in_port + 1) % 5;
                             packet.hops += 1;
                             self.link_traversals += 1;
@@ -741,8 +834,7 @@ impl Fabric {
 
         for (net, tile, port, packet) in arrivals {
             let network = &mut self.networks[net];
-            network.queues[tile][port].push_back(packet);
-            network.note_push(tile);
+            network.push(self.array, tile, port, packet);
             // `port` is the receiving side, which faces back toward the
             // sender; attribute the peak to the upstream link feeding it.
             let occupancy = network.queues[tile][port].len();
@@ -769,9 +861,7 @@ impl Fabric {
                 };
                 let net = packet.network() as usize;
                 let idx = self.array.index_of(via);
-                let network = &mut self.networks[net];
-                network.queues[idx][LOCAL].push_back(packet);
-                network.note_push(idx);
+                self.networks[net].push(self.array, idx, LOCAL, packet);
             } else {
                 delivered.push(packet);
             }
@@ -782,31 +872,8 @@ impl Fabric {
         // state (queue contents and round-robin pointers) into per-lane
         // journal entries. Per-lane dedup means idle routers cost no
         // journal space; the walk itself runs only every K cycles.
-        if let Some(journal) = self.journal.as_mut() {
-            if journal.wants(self.cycle) {
-                for (net_idx, network) in self.networks.iter().enumerate() {
-                    for tile in 0..tiles {
-                        let mut h = Fnv1a::new();
-                        for port in 0..5 {
-                            h.write_u32(network.queues[tile][port].len() as u32);
-                            for p in &network.queues[tile][port] {
-                                h.write_u64(p.id);
-                                h.write_u8(p.leg);
-                                h.write_u32(p.hops);
-                            }
-                            h.write_u8(network.rr[tile][port] as u8);
-                        }
-                        journal.record(
-                            self.cycle,
-                            LaneId::Net {
-                                net: net_idx as u8,
-                                tile: tile as u32,
-                            },
-                            h.finish(),
-                        );
-                    }
-                }
-            }
+        if self.journal.as_ref().is_some_and(|j| j.wants(self.cycle)) {
+            self.record_net_lanes(self.cycle);
         }
 
         if self.sink.enabled() {
@@ -821,6 +888,99 @@ impl Fabric {
             }
         }
         delivered
+    }
+
+    /// Fingerprints every router's current state into the journal's net
+    /// lanes at window boundary `cycle` (no-op when digests are off).
+    fn record_net_lanes(&mut self, cycle: u64) {
+        let tiles = self.array.tile_count();
+        let Fabric {
+            networks, journal, ..
+        } = self;
+        let Some(journal) = journal.as_mut() else {
+            return;
+        };
+        for (net_idx, network) in networks.iter().enumerate() {
+            for tile in 0..tiles {
+                let mut h = Fnv1a::new();
+                for port in 0..5 {
+                    h.write_u32(network.queues[tile][port].len() as u32);
+                    for p in &network.queues[tile][port] {
+                        h.write_u64(p.id);
+                        h.write_u8(p.leg);
+                        h.write_u32(p.hops);
+                    }
+                    h.write_u8(network.rr[tile][port] as u8);
+                }
+                journal.record(
+                    cycle,
+                    LaneId::Net {
+                        net: net_idx as u8,
+                        tile: tile as u32,
+                    },
+                    h.finish(),
+                );
+            }
+        }
+    }
+
+    /// Jumps the clock forward `cycles` cycles across a window in which
+    /// the fabric is provably inert (nothing queued anywhere), replaying
+    /// the per-cycle bookkeeping in bulk so every artefact stays
+    /// byte-identical to having ticked the window densely:
+    ///
+    /// - each skipped tick would have sampled an empty active set, so
+    ///   the histogram takes `cycles` zeros in O(1);
+    /// - each gauge-sample boundary inside the window records the same
+    ///   four zeros the dense tick would read off empty queues;
+    /// - every digest boundary inside the window hashes the same empty
+    ///   routers, so recording the *first* one reproduces the dense
+    ///   journal — later boundaries dedup to nothing.
+    ///
+    /// Ticks are not executed, so [`Fabric::ticks_executed`] does not
+    /// advance — the counter the O(events)-termination tests watch.
+    ///
+    /// Callers (the wheel-stepping drivers) must only skip windows with
+    /// no in-flight packets; this is debug-asserted.
+    pub fn skip_cycles(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert_eq!(self.in_flight(), 0, "only an empty fabric may skip");
+        for network in &mut self.networks {
+            network.prune_wake();
+            debug_assert!(network.wake.is_empty());
+        }
+        let start = self.cycle;
+        self.cycle += cycles;
+        self.active_tiles.record_n(0, cycles);
+        if self.sample_every != 0 {
+            let every = self.sample_every;
+            let mut boundary = (start / every + 1) * every;
+            while boundary <= self.cycle {
+                if self.samples[0].1.wants(boundary) {
+                    for (_, series) in &mut self.samples {
+                        series.record(boundary, 0.0);
+                    }
+                }
+                boundary += every;
+            }
+        }
+        if let Some(every) = self.journal.as_ref().map(|j| j.every()) {
+            if let Some(periods) = start.checked_div(every) {
+                let first = (periods + 1) * every;
+                if first <= self.cycle {
+                    self.record_net_lanes(first);
+                }
+            }
+        }
+    }
+
+    /// Ticks actually executed so far — unlike [`Fabric::cycle`], cycles
+    /// jumped by [`Fabric::skip_cycles`] do not count. The ratio
+    /// `cycle / ticks_executed` is the event-wheel skip leverage.
+    pub fn ticks_executed(&self) -> u64 {
+        self.ticks
     }
 
     /// Ticks until the fabric is empty, returning every endpoint delivery.

@@ -15,6 +15,8 @@ use std::fmt;
 
 use rand::{Rng, RngExt as _};
 use serde::{Deserialize, Serialize};
+use wsp_common::parallel::Stepping;
+use wsp_common::wheel::EventWheel;
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 
 use crate::fabric::{Fabric, FabricPacket, PacketKind};
@@ -103,9 +105,12 @@ pub struct NocSim {
     config: SimConfig,
     fabric: Fabric,
     healthy: Vec<TileCoord>,
-    /// Responses waiting out the destination's service delay:
-    /// `(ready_cycle, packet)`.
-    pending_responses: std::collections::VecDeque<(u64, FabricPacket)>,
+    /// Responses waiting out the destination's service delay, keyed by
+    /// ready cycle. The wheel pops in `(ready, scheduling)` order, which
+    /// under the constant `response_delay` is exactly the FIFO order the
+    /// old deque released them in — and its `next_at` is the deadline the
+    /// wheel-stepping mode jumps the clock to when the fabric is empty.
+    pending_responses: EventWheel<FabricPacket>,
     stats: SimReport,
 }
 
@@ -121,7 +126,7 @@ impl NocSim {
             config,
             fabric: Fabric::new(array, config.queue_capacity),
             healthy,
-            pending_responses: std::collections::VecDeque::new(),
+            pending_responses: EventWheel::new(),
             stats: SimReport::default(),
         }
     }
@@ -172,14 +177,82 @@ impl NocSim {
         warm: u64,
         rng: &mut R,
     ) -> SimReport {
-        for _ in 0..warm {
-            self.inject(pattern, rng);
+        if self.config.injection_rate == 0.0 && self.fabric.stepping() == Stepping::Wheel {
+            // Nothing will ever inject: the whole warm window is one
+            // event-free jump. (The dense sweep burns one RNG draw per
+            // healthy tile per cycle on the rate-0 Bernoulli trial; the
+            // stream position is unobservable in the report, which is
+            // what the wheel-vs-dense equality tests pin down.)
+            self.advance_idle(warm);
+        } else {
+            for _ in 0..warm {
+                self.inject(pattern, rng);
+                self.step();
+            }
+        }
+        self.drain_in_flight();
+        self.finish_report()
+    }
+
+    /// Runs `bursts` rounds of `burst_len` injection cycles separated by
+    /// `gap` idle cycles, then drains — the synchronisation-phase traffic
+    /// shape (compute quietly, exchange in a burst) where event-wheel
+    /// stepping pays off: the dense sweep ticks every idle gap cycle,
+    /// the wheel jumps them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network fails to drain (a deadlock), as in
+    /// [`NocSim::run`].
+    pub fn run_bursts<R: Rng + ?Sized>(
+        &mut self,
+        pattern: TrafficPattern,
+        bursts: u64,
+        burst_len: u64,
+        gap: u64,
+        rng: &mut R,
+    ) -> SimReport {
+        for _ in 0..bursts {
+            for _ in 0..burst_len {
+                self.inject(pattern, rng);
+                self.step();
+            }
+            self.advance_idle(gap);
+        }
+        self.drain_in_flight();
+        self.finish_report()
+    }
+
+    /// Advances exactly `cycles` cycles with no new injections. In-flight
+    /// traffic keeps moving; under [`Stepping::Wheel`] any tail of the
+    /// window in which the fabric is empty is jumped rather than ticked
+    /// (landing one cycle *before* the next pending response so the
+    /// release step runs normally) — bit-identical to stepping it.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        let end = self.fabric.cycle() + cycles;
+        while self.fabric.cycle() < end {
+            if self.fabric.stepping() == Stepping::Wheel && self.fabric.in_flight() == 0 {
+                let horizon = self
+                    .pending_responses
+                    .next_at()
+                    .map_or(end, |ready| ready.saturating_sub(1).min(end));
+                let gap = horizon.saturating_sub(self.fabric.cycle());
+                if gap > 0 {
+                    self.fabric.skip_cycles(gap);
+                    continue;
+                }
+            }
             self.step();
         }
-        // Drain: no new injections; everything in flight must complete.
+    }
+
+    /// Drains all in-flight traffic: no new injections; everything in
+    /// flight must complete.
+    fn drain_in_flight(&mut self) {
         let mut idle_cycles = 0u64;
         while self.in_flight() > 0 {
             let before = self.in_flight();
+            self.skip_to_next_event();
             self.step();
             if self.in_flight() == before {
                 idle_cycles += 1;
@@ -192,6 +265,24 @@ impl NocSim {
                 idle_cycles = 0;
             }
         }
+    }
+
+    /// Under [`Stepping::Wheel`], jumps an empty fabric to one cycle
+    /// before the earliest pending response, so the next [`NocSim::step`]
+    /// releases it exactly when the dense sweep would. No-op otherwise.
+    fn skip_to_next_event(&mut self) {
+        if self.fabric.stepping() != Stepping::Wheel || self.fabric.in_flight() != 0 {
+            return;
+        }
+        let Some(ready) = self.pending_responses.next_at() else {
+            return;
+        };
+        let gap = ready.saturating_sub(1).saturating_sub(self.fabric.cycle());
+        self.fabric.skip_cycles(gap);
+    }
+
+    /// Snapshots the accumulated statistics plus the fabric's counters.
+    fn finish_report(&mut self) -> SimReport {
         let mut report = self.stats.clone();
         report.cycles = self.fabric.cycle();
         report.relay_forwards = self.fabric.relay_forwards();
@@ -242,12 +333,10 @@ impl NocSim {
     fn step(&mut self) {
         // Release responses whose service delay has elapsed; they join
         // this cycle's arbitration exactly as in-network packets do.
+        // The wheel pops in (ready, scheduling) order — FIFO under the
+        // constant response delay.
         let next_cycle = self.fabric.cycle() + 1;
-        while let Some(&(ready, _)) = self.pending_responses.front() {
-            if ready > next_cycle {
-                break;
-            }
-            let (_, packet) = self.pending_responses.pop_front().expect("non-empty");
+        for packet in self.pending_responses.pop_due(next_cycle) {
             // Local injection queues for responses are allowed to grow —
             // the destination tile buffers them in its local memory.
             self.fabric.inject_unbounded(packet);
@@ -270,7 +359,7 @@ impl NocSim {
                 // Schedule the response on the complementary network.
                 let response = FabricPacket::response(&packet);
                 self.pending_responses
-                    .push_back((now + self.config.response_delay, response));
+                    .schedule(now + self.config.response_delay, response);
             }
             PacketKind::Response => {
                 self.stats.responses_delivered += 1;
@@ -597,6 +686,72 @@ mod tests {
             }
         }
         assert_eq!(sum, report.link_traversals);
+    }
+
+    #[test]
+    fn bursty_traffic_is_bit_identical_across_stepping_modes() {
+        // Bursts separated by long idle gaps: the shape the event wheel
+        // skips. Every counter, latency sum, and the histogram must match
+        // the dense reference exactly.
+        let run_mode = |stepping: Stepping| {
+            let mut sim = clean_sim(8);
+            sim.fabric_mut().set_stepping(stepping);
+            sim.fabric_mut().set_sampling(32);
+            sim.fabric_mut().set_digests(64);
+            let mut rng = seeded_rng(11);
+            let report = sim.run_bursts(TrafficPattern::Transpose, 5, 6, 400, &mut rng);
+            let samples: Vec<(String, Vec<(u64, f64)>)> = sim
+                .fabric()
+                .timeseries()
+                .map(|(name, s)| (name.to_string(), s.points().to_vec()))
+                .collect();
+            let journal = sim.fabric().journal().expect("digests on").to_text();
+            (report, samples, journal)
+        };
+        let dense = run_mode(Stepping::Dense);
+        assert_eq!(run_mode(Stepping::Sparse), dense);
+        assert_eq!(run_mode(Stepping::Wheel), dense);
+    }
+
+    #[test]
+    fn wheel_crosses_idle_gaps_in_constant_ticks() {
+        // A single long gap must cost O(in-flight drain), not O(gap):
+        // the executed-tick counter stays flat while the cycle counter
+        // jumps the whole window.
+        let mut sim = clean_sim(8);
+        sim.fabric_mut().set_stepping(Stepping::Wheel);
+        let mut rng = seeded_rng(12);
+        let report = sim.run_bursts(TrafficPattern::Transpose, 2, 4, 100_000, &mut rng);
+        assert!(report.cycles >= 200_000, "cycles {}", report.cycles);
+        let ticks = sim.fabric().ticks_executed();
+        assert!(
+            ticks < 500,
+            "wheel executed {ticks} ticks over {} cycles",
+            report.cycles
+        );
+        assert_eq!(report.responses_delivered, report.requests_injected);
+    }
+
+    #[test]
+    fn zero_injection_run_terminates_in_o_events() {
+        // The empty-wafer edge case: nothing ever injects, so a wheel
+        // run must execute zero ticks yet report the same cycle count
+        // (and the same all-zero stats) as the dense sweep.
+        let run_mode = |stepping: Stepping| {
+            let mut sim = clean_sim(16);
+            sim.config.injection_rate = 0.0;
+            sim.fabric_mut().set_stepping(stepping);
+            let mut rng = seeded_rng(13);
+            let report = sim.run(TrafficPattern::UniformRandom, 50_000, &mut rng);
+            (report, sim.fabric().ticks_executed())
+        };
+        let (dense_report, dense_ticks) = run_mode(Stepping::Dense);
+        let (wheel_report, wheel_ticks) = run_mode(Stepping::Wheel);
+        assert_eq!(dense_report, wheel_report);
+        assert_eq!(dense_ticks, 50_000);
+        assert_eq!(wheel_ticks, 0, "empty wafer must be one jump");
+        assert_eq!(wheel_report.cycles, 50_000);
+        assert_eq!(wheel_report.requests_injected, 0);
     }
 
     #[test]

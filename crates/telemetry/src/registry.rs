@@ -97,6 +97,24 @@ impl Histogram {
         self.buckets[Self::bucket_index(value)] += 1;
     }
 
+    /// Records the same sample `n` times in O(1) — the bulk-replay path
+    /// event-wheel skips use to account every skipped cycle without
+    /// walking them. Equivalent to `n` calls to [`record`](Self::record)
+    /// (the saturating sum makes `value * n` and `n` separate adds agree
+    /// even at the ceiling).
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] =
+            self.buckets[Self::bucket_index(value)].saturating_add(n);
+    }
+
     /// Samples recorded.
     #[inline]
     pub fn count(&self) -> u64 {
@@ -421,6 +439,33 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.sum(), u64::MAX);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut looped = Histogram::new();
+        let mut bulk = Histogram::new();
+        looped.record(9);
+        bulk.record(9);
+        for _ in 0..1_000 {
+            looped.record(70);
+        }
+        bulk.record_n(70, 1_000);
+        bulk.record_n(3, 0); // no-op, must not disturb min
+        assert_eq!(looped, bulk);
+        assert_eq!(bulk.min(), 9);
+    }
+
+    #[test]
+    fn record_n_saturates_like_repeated_record() {
+        let mut looped = Histogram::new();
+        let mut bulk = Histogram::new();
+        for _ in 0..3 {
+            looped.record(u64::MAX);
+        }
+        bulk.record_n(u64::MAX, 3);
+        assert_eq!(looped.sum(), bulk.sum());
+        assert_eq!(looped.count(), bulk.count());
     }
 
     #[test]

@@ -255,6 +255,18 @@ impl CoreSim {
         self.stall_pending
     }
 
+    /// Drains `cycles` of an armed freeze in bulk — the event-wheel skip
+    /// path. A frozen [`CoreSim::step`] does exactly one `stall_pending`
+    /// decrement and nothing else (cycles and stalls were accounted up
+    /// front by [`CoreSim::apply_stall_cycles`]), so skipping a window of
+    /// `cycles` frozen steps reduces to this single subtraction.
+    #[inline]
+    pub fn drain_stall_cycles(&mut self, cycles: u64) {
+        debug_assert_eq!(self.state, CoreState::Running, "only running cores drain");
+        debug_assert!(self.stall_pending >= cycles, "cannot drain past the freeze");
+        self.stall_pending -= cycles;
+    }
+
     /// Reads a word from private SRAM (for test setup / result readout).
     ///
     /// # Errors
@@ -797,6 +809,39 @@ mod tests {
         assert_eq!(core.reg(Reg::R2), 2);
         assert_eq!(core.stats().retired, 2);
         assert_eq!(core.stats().cycles, 5);
+    }
+
+    #[test]
+    fn drain_stall_cycles_matches_frozen_steps() {
+        let program = Program::builder()
+            .ldi(Reg::R1, 1)
+            .ldi(Reg::R2, 2)
+            .halt()
+            .build()
+            .expect("builds");
+        let build = || {
+            let mut core = CoreSim::new();
+            core.load_program(&program);
+            core.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+            core.apply_stall_cycles(5);
+            core
+        };
+        let mut stepped = build();
+        let mut drained = build();
+        for _ in 0..4 {
+            stepped.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        }
+        drained.drain_stall_cycles(4);
+        assert_eq!(stepped.stall_pending(), drained.stall_pending());
+        assert_eq!(stepped.stats(), drained.stats());
+        // Both thaw on the same subsequent cycle and execute identically.
+        stepped.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        drained.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        stepped.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        drained.step(|_| Ok(BusGrant::Stalled)).expect("steps");
+        assert_eq!(stepped.reg(Reg::R2), 2);
+        assert_eq!(drained.reg(Reg::R2), 2);
+        assert_eq!(stepped.stats(), drained.stats());
     }
 
     #[test]

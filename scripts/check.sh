@@ -19,9 +19,10 @@ cargo test -q
 echo "==> bench smoke (BENCH_*.json present and well-formed)"
 ./scripts/bench.sh --smoke
 
-echo "==> determinism gate (smoke JSON vs tests/golden, {dense,sparse} x {1,8} threads)"
-# Two claims at once: (1) the parallel backend and the sparse active-set
-# scheduler are bit-identical to the sequential dense sweep, and (2) the
+echo "==> determinism gate (smoke JSON vs tests/golden, {dense,sparse,wheel} x {1,8} threads)"
+# Two claims at once: (1) the parallel backend, the sparse active-set
+# scheduler, and the event-wheel skipper are bit-identical to the
+# sequential dense sweep, and (2) the
 # default fixed-latency memory backend is byte-identical to the
 # pre-MemoryModel-refactor seed output committed under tests/golden/.
 # The smoke JSON carries only deterministic metrics (no wall-clock
@@ -39,7 +40,7 @@ if [ "${WSP_UPDATE_GOLDEN:-0}" = "1" ]; then
 fi
 for bin in fig7_network workloads; do
     golden="tests/golden/${bin}_smoke.json"
-    for stepping in dense sparse; do
+    for stepping in dense sparse wheel; do
         for threads in 1 8; do
             out="$DET_DIR/$bin-$stepping-t$threads.json"
             target/release/"$bin" --smoke --stepping "$stepping" --threads "$threads" \
@@ -77,6 +78,22 @@ if target/release/wsp-diff bench --tolerances tests/golden/tolerances.txt \
     exit 1
 fi
 echo "    gate passes on baselines and catches a synthetic regression"
+
+echo "==> flag-doc drift gate (every BenchOpts flag is documented in README.md)"
+# The README's "Performance knobs" table must mention every flag string
+# the bench option parser accepts — a new flag without documentation (or
+# a renamed flag leaving its old name behind in the README) fails here.
+# Only the code above the #[cfg(test)] module counts: tests exercise fake
+# flags (e.g. --frobnicate) to probe the unknown-flag error path.
+flags=$(awk '/#\[cfg\(test\)\]/ { exit } { print }' crates/bench/src/lib.rs \
+    | grep -o '"--[a-z-]*"' | tr -d '"' | sort -u)
+for flag in $flags; do
+    if ! grep -q -- "$flag" README.md; then
+        echo "FAIL: flag $flag (crates/bench/src/lib.rs) is not documented in README.md" >&2
+        exit 1
+    fi
+done
+echo "    all $(echo "$flags" | wc -w) bench flags documented"
 
 echo "==> banked memory smoke (--memory banked answers stay correct)"
 target/release/workloads --smoke --memory banked > "$DET_DIR/banked.txt"

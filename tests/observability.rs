@@ -126,6 +126,8 @@ fn artifacts_are_identical_across_stepping_and_threads() {
         (Stepping::Dense, 8),
         (Stepping::Sparse, 1),
         (Stepping::Sparse, 8),
+        (Stepping::Wheel, 1),
+        (Stepping::Wheel, 8),
     ] {
         assert_eq!(
             baseline,

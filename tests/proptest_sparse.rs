@@ -1,7 +1,9 @@
-//! Property tests for the activity-driven sparse scheduler: skipping
-//! idle tiles must be *unobservable*. Every fabric report and every
+//! Property tests for the activity-driven sparse scheduler and the
+//! event-wheel skipper: skipping idle tiles (and jumping fully stalled
+//! windows) must be *unobservable*. Every fabric report and every
 //! machine outcome — stats, architectural memory state, per-core
-//! activity counters, and the runnable-tiles telemetry sample — has to
+//! activity counters, the runnable-tiles telemetry sample, the memory
+//! profile, the sampled time series, and the digest journal — has to
 //! match the dense reference sweep bit for bit, across random seeds,
 //! fault maps, and thread counts.
 
@@ -74,6 +76,11 @@ fn run_machine(
     let mut m = MultiTileMachine::new(cfg, faults.clone());
     m.set_threads(threads);
     m.set_stepping(stepping);
+    // The observability artifacts ride along in the identity tuple: the
+    // wheel's bulk gap replay must reproduce the gauge samples and the
+    // digest windows of the dense sweep, not just the end state.
+    m.set_sampling(8);
+    m.set_digests(16);
     let owner = array
         .tiles()
         .find(|&t| !faults.is_faulty(t))
@@ -101,11 +108,19 @@ fn run_machine(
     // faults the accessing core — a legitimate outcome that must still
     // match between stepping modes, so the error is part of the tuple.
     let outcome = m.run_until_halt(1_000_000).map_err(|e| format!("{e:?}"));
+    let journal = m.journal().expect("digests on").to_text();
+    let series: Vec<(String, Vec<(u64, f64)>)> = m
+        .timeseries()
+        .map(|(name, s)| (name.to_string(), s.points().to_vec()))
+        .collect();
     (
         outcome,
         m.read_word(counter).expect("owner is healthy"),
         m.per_tile_activity(),
         m.runnable_tiles().clone(),
+        m.memory_profile(),
+        journal,
+        series,
     )
 }
 
@@ -146,5 +161,43 @@ proptest! {
         let dense = run_machine(seed, faults, reps, Stepping::Dense, 1, memory);
         let sparse = run_machine(seed, faults, reps, Stepping::Sparse, threads, memory);
         prop_assert_eq!(dense, sparse);
+    }
+
+    /// The event wheel's stalled-window jumps are unobservable too: the
+    /// same identity tuple (including memory profile, time series, and
+    /// digest journal) holds for wheel-vs-dense over random schedules,
+    /// fault maps, memory backends, and thread counts.
+    #[test]
+    fn wheel_machine_matches_dense(
+        seed in any::<u64>(),
+        fault_idx in 0usize..3,
+        reps in 1u32..6,
+        threads_idx in 0usize..3,
+        mem_idx in 0usize..3,
+    ) {
+        let faults = MACHINE_FAULTS[fault_idx];
+        let threads = THREADS[threads_idx];
+        let memory = MEMORY[mem_idx];
+        let dense = run_machine(seed, faults, reps, Stepping::Dense, 1, memory);
+        let wheel = run_machine(seed, faults, reps, Stepping::Wheel, threads, memory);
+        prop_assert_eq!(dense, wheel);
+    }
+
+    /// Fabric-level wheel identity: with injections running the wheel
+    /// degenerates to the sparse walk, and the drain phase jumps empty
+    /// windows — the report must still match the dense sweep exactly.
+    #[test]
+    fn wheel_fabric_matches_dense(
+        seed in any::<u64>(),
+        fault_idx in 0usize..3,
+        requests in 20u64..150,
+        threads_idx in 0usize..3,
+    ) {
+        let faults = FABRIC_FAULTS[fault_idx];
+        let threads = THREADS[threads_idx];
+        let pattern = TrafficPattern::UniformRandom;
+        let dense = run_fabric(seed, faults, requests, pattern, Stepping::Dense, 1);
+        let wheel = run_fabric(seed, faults, requests, pattern, Stepping::Wheel, threads);
+        prop_assert_eq!(dense, wheel);
     }
 }
