@@ -232,6 +232,134 @@ fn write_file(path: &Path, contents: &str) {
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
 }
 
+/// CLI options of the `serve` campaign binary: every [`BenchOpts`] flag
+/// plus the serving-layer knobs.
+///
+/// - `--jobs <n>` — number of synthetic jobs to admit (default: 24 in
+///   smoke mode, 96 otherwise);
+/// - `--slice <WxH>` — slice extent in tiles, e.g. `4x4` (default: 4x4
+///   in smoke mode, 8x8 otherwise);
+/// - `--fail-after <k>` — retire the completing slice after every k-th
+///   job completion (0 disables; the smoke default injects one failure
+///   so the drain/re-place path stays exercised);
+/// - `--snapshot <path>` — write a campaign snapshot to `path`;
+/// - `--snapshot-after <k>` — pause for the snapshot after k job
+///   completions instead of at the end of the campaign;
+/// - `--restore <path>` — resume from a snapshot written by
+///   `--snapshot` instead of starting at cycle 0 (the remaining flags
+///   must match the snapshotting run).
+///
+/// # Examples
+///
+/// ```
+/// use wsp_bench::ServeOpts;
+///
+/// let opts = ServeOpts::parse(
+///     ["--smoke", "--jobs", "12", "--slice", "4x4", "--fail-after", "5"]
+///         .iter()
+///         .map(ToString::to_string),
+/// )
+/// .expect("valid args");
+/// assert!(opts.bench.smoke);
+/// assert_eq!(opts.jobs, Some(12));
+/// assert_eq!(opts.slice, Some((4, 4)));
+/// assert_eq!(opts.fail_after, Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeOpts {
+    /// The shared bench flags (`--json`, `--seed`, `--stepping`, …).
+    pub bench: BenchOpts,
+    /// Job-count override.
+    pub jobs: Option<usize>,
+    /// Slice extent override, `(width, height)`.
+    pub slice: Option<(u16, u16)>,
+    /// Fault-injection cadence override (0 = off).
+    pub fail_after: Option<u32>,
+    /// Snapshot output path.
+    pub snapshot: Option<PathBuf>,
+    /// Completions before the snapshot pause.
+    pub snapshot_after: Option<usize>,
+    /// Snapshot to resume from.
+    pub restore: Option<PathBuf>,
+}
+
+impl ServeOpts {
+    /// Parses the process arguments, exiting with usage on bad input.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--jobs <n>] [--slice <WxH>] [--fail-after <k>] \
+                     [--snapshot <path>] [--snapshot-after <k>] [--restore <path>] \
+                     plus the common bench flags (see --json etc. in README.md)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator: serve-specific flags are consumed
+    /// here, everything else is delegated to [`BenchOpts::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown flag or bad value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = ServeOpts::default();
+        let mut rest = Vec::new();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--jobs" => {
+                    let raw = args.next().ok_or("--jobs requires a count")?;
+                    let jobs = raw
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid job count {raw:?}"))?;
+                    opts.jobs = Some(jobs);
+                }
+                "--slice" => {
+                    let raw = args.next().ok_or("--slice requires WxH")?;
+                    let (w, h) = raw
+                        .split_once('x')
+                        .and_then(|(w, h)| Some((w.parse::<u16>().ok()?, h.parse::<u16>().ok()?)))
+                        .filter(|&(w, h)| w > 0 && h > 0)
+                        .ok_or_else(|| format!("invalid slice extent {raw:?} (expected WxH)"))?;
+                    opts.slice = Some((w, h));
+                }
+                "--fail-after" => {
+                    let raw = args.next().ok_or("--fail-after requires a count")?;
+                    let k = raw
+                        .parse::<u32>()
+                        .map_err(|_| format!("invalid failure cadence {raw:?}"))?;
+                    opts.fail_after = Some(k);
+                }
+                "--snapshot" => {
+                    let path = args.next().ok_or("--snapshot requires a path")?;
+                    opts.snapshot = Some(PathBuf::from(path));
+                }
+                "--snapshot-after" => {
+                    let raw = args.next().ok_or("--snapshot-after requires a count")?;
+                    let k = raw
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid completion count {raw:?}"))?;
+                    opts.snapshot_after = Some(k);
+                }
+                "--restore" => {
+                    let path = args.next().ok_or("--restore requires a path")?;
+                    opts.restore = Some(PathBuf::from(path));
+                }
+                _ => rest.push(arg),
+            }
+        }
+        opts.bench = BenchOpts::parse(rest.into_iter())?;
+        Ok(opts)
+    }
+}
+
 /// Encodes an executor label (as reported by the fabric's or machine's
 /// `executor()`) as a stable numeric gauge value, since telemetry gauges
 /// are `f64`-valued: `sequential` → 0, `banded` → 1, `sparse` → 2,
@@ -383,6 +511,63 @@ mod tests {
         assert!(parse(&["--digest-every"]).is_err());
         assert!(parse(&["--digest-every", "-1"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_serve(args: &[&str]) -> Result<ServeOpts, String> {
+        ServeOpts::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn serve_opts_parse_and_delegate() {
+        let opts = parse_serve(&[
+            "--jobs",
+            "48",
+            "--slice",
+            "8x4",
+            "--fail-after",
+            "0",
+            "--snapshot",
+            "s.txt",
+            "--snapshot-after",
+            "10",
+            "--restore",
+            "r.txt",
+            "--json",
+            "m.json",
+            "--seed",
+            "5",
+            "--stepping",
+            "wheel",
+            "--smoke",
+        ])
+        .expect("valid");
+        assert_eq!(opts.jobs, Some(48));
+        assert_eq!(opts.slice, Some((8, 4)));
+        assert_eq!(opts.fail_after, Some(0));
+        assert_eq!(opts.snapshot.as_deref(), Some(Path::new("s.txt")));
+        assert_eq!(opts.snapshot_after, Some(10));
+        assert_eq!(opts.restore.as_deref(), Some(Path::new("r.txt")));
+        assert_eq!(opts.bench.json.as_deref(), Some(Path::new("m.json")));
+        assert_eq!(opts.bench.seed, Some(5));
+        assert_eq!(opts.bench.stepping, Stepping::Wheel);
+        assert!(opts.bench.smoke);
+        let empty = parse_serve(&[]).expect("empty ok");
+        assert_eq!(empty, ServeOpts::default());
+    }
+
+    #[test]
+    fn serve_opts_reject_bad_input() {
+        assert!(parse_serve(&["--jobs"]).is_err());
+        assert!(parse_serve(&["--jobs", "0"]).is_err());
+        assert!(parse_serve(&["--slice", "4"]).is_err());
+        assert!(parse_serve(&["--slice", "0x4"]).is_err());
+        assert!(parse_serve(&["--slice", "axb"]).is_err());
+        assert!(parse_serve(&["--fail-after", "soon"]).is_err());
+        assert!(parse_serve(&["--snapshot"]).is_err());
+        assert!(parse_serve(&["--snapshot-after", "x"]).is_err());
+        assert!(parse_serve(&["--restore"]).is_err());
+        // Unknown flags still fail through the BenchOpts delegate.
+        assert!(parse_serve(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -280,6 +280,108 @@ fn both_fractions(faults: &FaultMap, oracle: &SegmentOracle) -> (f64, f64) {
     (single as f64 / total as f64, dual as f64 / total as f64)
 }
 
+/// Whether the healthy tiles of `faults` form one mesh-connected region
+/// (and there is at least one of them).
+///
+/// This is the usability predicate of the kernel layer: store-and-forward
+/// relaying can hop along any healthy-tile chain, so a workload routes
+/// between every pair of owners exactly when this holds. The serving
+/// layer uses the same predicate for slice admission.
+pub fn healthy_region_connected(faults: &FaultMap) -> bool {
+    let array = faults.array();
+    let Some(start) = faults.healthy_tiles().next() else {
+        return false;
+    };
+    let mut seen = vec![false; array.tile_count()];
+    seen[array.index_of(start)] = true;
+    let mut stack = vec![start];
+    let mut reached = 1usize;
+    while let Some(tile) = stack.pop() {
+        for nb in array.neighbors(tile) {
+            let idx = array.index_of(nb);
+            if !seen[idx] && faults.is_healthy(nb) {
+                seen[idx] = true;
+                reached += 1;
+                stack.push(nb);
+            }
+        }
+    }
+    reached == faults.healthy_count()
+}
+
+/// No connected fault map was found within the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleConnectedError {
+    /// The array sampled over.
+    pub array: TileArray,
+    /// Faulty tiles requested per map.
+    pub fault_count: usize,
+    /// Attempts made before giving up.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for SampleConnectedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no connected fault map with {} faults on {}x{} within {} attempts",
+            self.fault_count,
+            self.array.cols(),
+            self.array.rows(),
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for SampleConnectedError {}
+
+/// Samples a uniform fault map whose healthy region is connected
+/// ([`healthy_region_connected`]), retrying with deterministic sub-seeds
+/// up to `budget` attempts.
+///
+/// Attempt `i` draws from `stream_seed(seed, i)`, so every attempt's map
+/// is a pure function of `(array, count, seed, i)`: a retry never
+/// perturbs any other draw in the caller (the failure mode of threading
+/// one shared RNG stream through a resample loop, where one unlucky map
+/// shifted every later sample). Returns the map and the attempt index
+/// that produced it (0 = first try).
+///
+/// # Errors
+///
+/// [`SampleConnectedError`] when all `budget` attempts produced maps with
+/// a split (or empty) healthy region.
+///
+/// # Examples
+///
+/// ```
+/// use wsp_noc::connectivity::sample_connected_fault_map;
+/// use wsp_topo::TileArray;
+///
+/// let (map, attempt) =
+///     sample_connected_fault_map(TileArray::new(8, 8), 4, 7, 32).expect("findable");
+/// assert_eq!(map.fault_count(), 4);
+/// assert!(attempt < 32);
+/// ```
+pub fn sample_connected_fault_map(
+    array: TileArray,
+    count: usize,
+    seed: u64,
+    budget: usize,
+) -> Result<(FaultMap, usize), SampleConnectedError> {
+    for attempt in 0..budget {
+        let mut rng = wsp_common::seeded_rng(stream_seed(seed, attempt as u64));
+        let map = FaultMap::sample_uniform(array, count, &mut rng);
+        if healthy_region_connected(&map) {
+            return Ok((map, attempt));
+        }
+    }
+    Err(SampleConnectedError {
+        array,
+        fault_count: count,
+        budget,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +423,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn healthy_region_connectivity_predicate() {
+        let array = TileArray::new(4, 4);
+        // Clean: connected. Fully faulty: not (no healthy tile at all).
+        assert!(healthy_region_connected(&FaultMap::none(array)));
+        assert!(!healthy_region_connected(&FaultMap::from_faulty(
+            array,
+            array.tiles()
+        )));
+        // A faulty middle column splits the region.
+        let wall: Vec<TileCoord> = (0..4).map(|y| TileCoord::new(1, y)).collect();
+        assert!(!healthy_region_connected(&FaultMap::from_faulty(
+            array,
+            wall.clone()
+        )));
+        // ...unless one side of the wall is entirely faulty too.
+        let mut one_side = wall;
+        one_side.extend((0..4).map(|y| TileCoord::new(0, y)));
+        assert!(healthy_region_connected(&FaultMap::from_faulty(
+            array, one_side
+        )));
+    }
+
+    #[test]
+    fn connected_sampling_retries_with_deterministic_sub_seeds() {
+        // Regression pin for the resample-loop fix: on a 4×4 array with 6
+        // faults, seed 2's first draw has a split healthy region, and the
+        // bounded deterministic retry finds a connected map on attempt 1.
+        let array = TileArray::new(4, 4);
+        let first_draw = FaultMap::sample_uniform(
+            array,
+            6,
+            &mut seeded_rng(wsp_common::rng::stream_seed(2, 0)),
+        );
+        assert!(
+            !healthy_region_connected(&first_draw),
+            "seed 2 attempt 0 was expected to need a retry:\n{first_draw}"
+        );
+        let (map, attempt) = sample_connected_fault_map(array, 6, 2, 32).expect("budget suffices");
+        assert_eq!(attempt, 1);
+        assert_eq!(map.fault_count(), 6);
+        assert!(healthy_region_connected(&map));
+        // Deterministic: the same call yields the same map and attempt,
+        // and the successful attempt is reproducible directly from its
+        // sub-seed without replaying the failed draws.
+        assert_eq!(
+            sample_connected_fault_map(array, 6, 2, 32),
+            Ok((map.clone(), attempt))
+        );
+        let direct = FaultMap::sample_uniform(
+            array,
+            6,
+            &mut seeded_rng(wsp_common::rng::stream_seed(2, attempt as u64)),
+        );
+        assert_eq!(direct, map);
+    }
+
+    #[test]
+    fn connected_sampling_reports_exhausted_budget() {
+        // 3 faults on a 2×2 mesh leave one healthy tile (connected), but 4
+        // of 4 leave none — every attempt fails and the error is loud.
+        let array = TileArray::new(2, 2);
+        let err = sample_connected_fault_map(array, 4, 9, 5).expect_err("cannot connect");
+        assert_eq!(err.budget, 5);
+        assert_eq!(err.fault_count, 4);
+        assert!(err.to_string().contains("within 5 attempts"));
+        let (_, attempt) = sample_connected_fault_map(array, 3, 9, 5).expect("one tile is fine");
+        assert_eq!(attempt, 0);
     }
 
     #[test]

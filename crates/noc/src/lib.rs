@@ -49,11 +49,14 @@ pub mod routing;
 pub mod traffic;
 
 pub use connectivity::{
-    disconnected_fraction, ConnectivityPoint, ConnectivitySweep, RoutingScheme,
+    disconnected_fraction, healthy_region_connected, sample_connected_fault_map, ConnectivityPoint,
+    ConnectivitySweep, RoutingScheme, SampleConnectedError,
 };
 pub use fabric::{Fabric, FabricPacket, LinkStats, PacketKind};
 pub use fifo::AsyncFifo;
 pub use kernel::{NetworkChoice, RoutePlanner, RoutingTable};
-pub use oddeven::{odd_even_disconnected_fraction, route_odd_even, turn_allowed};
+pub use oddeven::{
+    odd_even_disconnected_fraction, odd_even_reachable, route_odd_even, turn_allowed,
+};
 pub use routing::{dor_path, path_is_healthy, NetworkKind};
 pub use traffic::{NocSim, SimConfig, SimReport, TrafficPattern};

@@ -133,24 +133,81 @@ pub fn route_odd_even(
     None
 }
 
+/// All healthy tiles reachable from `from` under the odd-even rules
+/// within `max_hops`, as a row-major boolean mask (the source itself is
+/// always marked).
+///
+/// One bounded BFS over the same `(tile, incoming-direction)` state
+/// space [`route_odd_even`] searches — but with no early exit, so a
+/// single pass answers reachability for *every* destination at once. A
+/// destination counts as reached when any of its four incoming-direction
+/// states is reached within the hop budget, exactly the condition under
+/// which the per-pair search would have returned a path.
+pub fn odd_even_reachable(faults: &FaultMap, from: TileCoord, max_hops: u32) -> Vec<bool> {
+    let array = faults.array();
+    let mut reached = vec![false; array.tile_count()];
+    if faults.is_faulty(from) {
+        return reached;
+    }
+    reached[array.index_of(from)] = true;
+    let states = array.tile_count() * 5;
+    let mut dist: Vec<u32> = vec![u32::MAX; states];
+    let start = array.index_of(from) * 5 + 4;
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(state) = queue.pop_front() {
+        let tile_idx = state / 5;
+        let in_dir = state % 5;
+        let tile = array.coord_of(tile_idx);
+        let hops = dist[state];
+        if hops >= max_hops {
+            continue;
+        }
+        for out in DIRECTIONS {
+            if in_dir < 4 && !turn_allowed(tile, DIRECTIONS[in_dir], out) {
+                continue;
+            }
+            let Some(nb) = array.neighbor(tile, out) else {
+                continue;
+            };
+            if faults.is_faulty(nb) {
+                continue;
+            }
+            let nb_idx = array.index_of(nb);
+            let nb_state = nb_idx * 5 + out.index();
+            if dist[nb_state] != u32::MAX {
+                continue;
+            }
+            dist[nb_state] = hops + 1;
+            reached[nb_idx] = true;
+            queue.push_back(nb_state);
+        }
+    }
+    reached
+}
+
 /// Fraction of healthy-tile ordered pairs with no rule-abiding path under
 /// the odd-even adaptive router (the fault-tolerance upgrade's residual
 /// disconnection, comparable to [`crate::connectivity`]'s dual-DoR
 /// numbers).
+///
+/// One multi-destination search per source ([`odd_even_reachable`]), so
+/// the cost is `O(H · states)` for `H` healthy tiles instead of the
+/// `O(H² · states)` the former per-pair [`route_odd_even`] sweep paid —
+/// on the 16×16 arrays `fig6_disconnect` resamples per trial that is a
+/// ~200× reduction in BFS work for bit-identical fractions.
 pub fn odd_even_disconnected_fraction(faults: &FaultMap, max_hops: u32) -> f64 {
+    let array = faults.array();
     let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
     if healthy.len() < 2 {
         return 0.0;
     }
     let mut disconnected = 0u64;
-    let mut total = 0u64;
+    let total = (healthy.len() as u64) * (healthy.len() as u64 - 1);
     for &s in &healthy {
+        let reached = odd_even_reachable(faults, s, max_hops);
         for &d in &healthy {
-            if s == d {
-                continue;
-            }
-            total += 1;
-            if route_odd_even(faults, s, d, max_hops).is_none() {
+            if s != d && !reached[array.index_of(d)] {
                 disconnected += 1;
             }
         }
@@ -282,6 +339,81 @@ mod tests {
             oe_total <= dual_total,
             "odd-even {oe_total} worse than dual DoR {dual_total}"
         );
+    }
+
+    /// The original per-pair implementation, kept as the test oracle for
+    /// the multi-destination restructure.
+    fn brute_force_disconnected_fraction(faults: &FaultMap, max_hops: u32) -> f64 {
+        let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
+        if healthy.len() < 2 {
+            return 0.0;
+        }
+        let mut disconnected = 0u64;
+        let mut total = 0u64;
+        for &s in &healthy {
+            for &d in &healthy {
+                if s == d {
+                    continue;
+                }
+                total += 1;
+                if route_odd_even(faults, s, d, max_hops).is_none() {
+                    disconnected += 1;
+                }
+            }
+        }
+        disconnected as f64 / total as f64
+    }
+
+    #[test]
+    fn multi_destination_fraction_matches_brute_force() {
+        // Small grids, a spread of fault densities and hop budgets — the
+        // single-source BFS must reproduce the per-pair sweep exactly
+        // (identical counts, so identical f64 fractions).
+        let mut rng = seeded_rng(17);
+        for (w, h) in [(4u16, 4u16), (6, 6), (6, 3)] {
+            let array = TileArray::new(w, h);
+            for faults_n in [0usize, 2, 5, 9] {
+                for _ in 0..4 {
+                    let faults = FaultMap::sample_uniform(array, faults_n, &mut rng);
+                    for max_hops in [3, 8, 40] {
+                        let fast = odd_even_disconnected_fraction(&faults, max_hops);
+                        let brute = brute_force_disconnected_fraction(&faults, max_hops);
+                        assert_eq!(
+                            fast, brute,
+                            "{w}x{h}, {faults_n} faults, budget {max_hops}:\n{faults}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_mask_agrees_with_per_pair_routing() {
+        let array = TileArray::new(6, 6);
+        let mut rng = seeded_rng(23);
+        for _ in 0..6 {
+            let faults = FaultMap::sample_uniform(array, 7, &mut rng);
+            for s in faults.healthy_tiles() {
+                let reached = odd_even_reachable(&faults, s, 20);
+                for d in array.tiles() {
+                    let expect = if s == d {
+                        faults.is_healthy(s)
+                    } else {
+                        route_odd_even(&faults, s, d, 20).is_some()
+                    };
+                    assert_eq!(reached[array.index_of(d)], expect, "{s}->{d}\n{faults}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_from_faulty_source_is_empty() {
+        let array = TileArray::new(4, 4);
+        let t = TileCoord::new(1, 1);
+        let faults = FaultMap::from_faulty(array, [t]);
+        assert!(odd_even_reachable(&faults, t, 100).iter().all(|&r| !r));
     }
 
     #[test]

@@ -100,13 +100,22 @@ pub enum LaneId {
         /// Row-major tile index.
         tile: u32,
     },
+    /// Outcome of one serving-layer job (dispatch placement + service
+    /// cycles + result checksum), recorded at the job's completion time
+    /// on the campaign clock.
+    Job {
+        /// Job sequence number within the campaign.
+        id: u32,
+    },
 }
 
 impl LaneId {
-    /// The row-major tile index the lane points at.
+    /// The row-major tile index the lane points at (the job id for
+    /// serving-layer job lanes, which are not tied to one tile).
     pub fn tile(&self) -> u32 {
         match *self {
             LaneId::Net { tile, .. } | LaneId::Machine { tile } => tile,
+            LaneId::Job { id } => id,
         }
     }
 }
@@ -116,6 +125,7 @@ impl fmt::Display for LaneId {
         match *self {
             LaneId::Net { net, tile } => write!(f, "network {net} tile {tile}"),
             LaneId::Machine { tile } => write!(f, "machine tile {tile}"),
+            LaneId::Job { id } => write!(f, "job {id}"),
         }
     }
 }
@@ -249,6 +259,9 @@ impl DigestJournal {
                     LaneId::Machine { tile } => {
                         out.push_str(&format!("m {tile} {digest:016x}\n"));
                     }
+                    LaneId::Job { id } => {
+                        out.push_str(&format!("j {id} {digest:016x}\n"));
+                    }
                 }
             }
         }
@@ -307,6 +320,7 @@ impl DigestJournal {
                 .ok_or_else(|| format!("bad digest on lane line {i}"))?;
             let lane = match kind {
                 "m" => LaneId::Machine { tile },
+                "j" => LaneId::Job { id: tile },
                 k => {
                     let net: u8 = k
                         .strip_prefix('n')
@@ -455,6 +469,20 @@ mod tests {
         j.record(128, LaneId::Machine { tile: 12 }, 0);
         let parsed = DigestJournal::parse(&j.to_text()).expect("parses");
         assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn job_lanes_round_trip_and_order_after_tiles() {
+        let mut j = DigestJournal::new(1, 16, 16);
+        j.record(10, LaneId::Job { id: 0 }, 0xaaaa);
+        j.record(25, LaneId::Job { id: 1 }, 0xbbbb);
+        j.record(25, LaneId::Machine { tile: 1 }, 3);
+        let text = j.to_text();
+        assert!(text.contains("j 0 000000000000aaaa"));
+        assert_eq!(DigestJournal::parse(&text).expect("parses"), j);
+        // Ord: job lanes sort after the tile-indexed lanes, so divergence
+        // reports name router/machine lanes before campaign-level ones.
+        assert!(LaneId::Machine { tile: u32::MAX } < LaneId::Job { id: 0 });
     }
 
     #[test]

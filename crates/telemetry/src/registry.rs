@@ -87,14 +87,16 @@ impl Histogram {
         }
     }
 
-    /// Records one sample. The running sum saturates rather than wrapping.
+    /// Records one sample. The running sum, count, and bucket occupancy
+    /// all saturate rather than wrapping.
     #[inline]
     pub fn record(&mut self, value: u64) {
         self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.buckets[Self::bucket_index(value)] += 1;
+        let bucket = &mut self.buckets[Self::bucket_index(value)];
+        *bucket = bucket.saturating_add(1);
     }
 
     /// Records the same sample `n` times in O(1) — the bulk-replay path
@@ -168,7 +170,33 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// The raw state `(count, sum, min, max, buckets)` — `min` is the
+    /// *internal* sentinel (`u64::MAX` when empty), not the clamped
+    /// [`min`](Self::min) accessor — for checkpoint serialisation.
+    /// Round-trips exactly through [`from_raw`](Self::from_raw).
+    pub fn to_raw(&self) -> (u64, u64, u64, u64, [u64; HISTOGRAM_BUCKETS]) {
+        (self.count, self.sum, self.min, self.max, self.buckets)
+    }
+
+    /// Reconstructs a histogram from [`to_raw`](Self::to_raw) parts, the
+    /// restore half of the serving layer's snapshot format.
+    pub fn from_raw(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: [u64; HISTOGRAM_BUCKETS],
+    ) -> Self {
+        Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
         }
     }
 
@@ -187,7 +215,10 @@ impl Histogram {
         let target = ((p * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            // Saturating: after ~2^64 recorded samples the bucket counts
+            // are themselves saturated, and a wrapping scan here could
+            // walk past the target rank and report a garbage percentile.
+            seen = seen.saturating_add(n);
             if seen >= target {
                 return Self::bucket_ceiling(i).clamp(self.min(), self.max);
             }
@@ -454,6 +485,57 @@ mod tests {
         bulk.record_n(3, 0); // no-op, must not disturb min
         assert_eq!(looped, bulk);
         assert_eq!(bulk.min(), 9);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new();
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} on empty histogram");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_n_near_u64_max_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record_n(5, u64::MAX - 1);
+        h.record_n(5, 7); // would wrap count and the bucket without saturation
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.bucket_counts()[Histogram::bucket_index(5)], u64::MAX);
+        // Percentiles stay sane on a saturated histogram: all mass sits in
+        // the value-5 bucket, so every percentile clamps to 5.
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.percentile(0.99), 5);
+        // A further plain record must not wrap the saturated bucket either.
+        h.record(5);
+        assert_eq!(h.bucket_counts()[Histogram::bucket_index(5)], u64::MAX);
+        // And merge_from on two saturated histograms stays saturated.
+        let other = h.clone();
+        h.merge_from(&other);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.bucket_counts()[Histogram::bucket_index(5)], u64::MAX);
+        assert_eq!(h.percentile(0.95), 5);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 9, 1_000_000] {
+            h.record(v);
+        }
+        let (count, sum, min, max, buckets) = h.to_raw();
+        assert_eq!(Histogram::from_raw(count, sum, min, max, buckets), h);
+        // The empty histogram round-trips too (internal min sentinel).
+        let empty = Histogram::new();
+        let (count, sum, min, max, buckets) = empty.to_raw();
+        assert_eq!(min, u64::MAX);
+        let back = Histogram::from_raw(count, sum, min, max, buckets);
+        assert_eq!(back, empty);
+        assert_eq!(back.min(), 0);
     }
 
     #[test]

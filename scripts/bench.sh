@@ -16,6 +16,9 @@
 #                                       full runs add the machine.memory.*
 #                                       row-buffer fidelity sweep)
 #   BENCH_pdn.json       fig2_droop    (IR-drop / SOR-solver metrics)
+#   BENCH_serve.json     serve         (wafer-as-a-service campaign:
+#                                       queueing-latency p50/p95/p99,
+#                                       slice utilisation, jobs/s)
 #   TRACE_machine.json   workloads     (Chrome trace: machine, fabric,
 #                                       pdn, clock, and dft spans —
 #                                       open in ui.perfetto.dev)
@@ -51,10 +54,12 @@ run() {
 run fig7_network "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_noc.json
 run workloads "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_machine.json --trace TRACE_machine.json
 run fig2_droop "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_pdn.json
+run serve "${SMOKE[@]}" "${THREADS[@]}" --json BENCH_serve.json
 
 echo "==> validate_json"
 target/release/validate_json \
-    BENCH_noc.json BENCH_machine.json BENCH_pdn.json TRACE_machine.json
+    BENCH_noc.json BENCH_machine.json BENCH_pdn.json BENCH_serve.json \
+    TRACE_machine.json
 
 # Full runs record wall.profile.* gauges; smoke runs print an empty
 # table (the profiler is disabled so the smoke JSON stays deterministic).

@@ -36,9 +36,11 @@ if [ "${WSP_UPDATE_GOLDEN:-0}" = "1" ]; then
         --json tests/golden/fig7_network_smoke.json >/dev/null
     target/release/workloads --smoke --stepping dense --threads 1 \
         --json tests/golden/workloads_smoke.json >/dev/null
+    target/release/serve --smoke --stepping dense --threads 1 \
+        --json tests/golden/serve_smoke.json >/dev/null
     echo "    refreshed tests/golden/*.json (+ .digest sidecars)"
 fi
-for bin in fig7_network workloads; do
+for bin in fig7_network workloads serve; do
     golden="tests/golden/${bin}_smoke.json"
     for stepping in dense sparse wheel; do
         for threads in 1 8; do
@@ -62,9 +64,28 @@ for bin in fig7_network workloads; do
 done
 echo "    byte-identical to the goldens across stepping modes and thread counts"
 
+echo "==> serve snapshot gate (snapshot -> restore -> resume is bit-identical)"
+# Checkpoint a serving campaign after 9 of its 24 smoke jobs, restore it
+# in a fresh process, run the remainder, and demand the resumed run's
+# report and digest journal are byte-equal to the golden uninterrupted
+# run. This is the wafer-as-a-service durability contract: a campaign
+# interrupted at any completion boundary resumes bit-identically.
+target/release/serve --smoke --snapshot "$DET_DIR/serve.snap" --snapshot-after 9 >/dev/null
+target/release/serve --smoke --restore "$DET_DIR/serve.snap" \
+    --json "$DET_DIR/serve-resumed.json" >/dev/null
+for suffix in "" ".digest"; do
+    if ! cmp -s "tests/golden/serve_smoke.json$suffix" "$DET_DIR/serve-resumed.json$suffix"; then
+        echo "FAIL: resumed serve campaign diverged from golden (serve_smoke.json$suffix)" >&2
+        [ -n "$suffix" ] && target/release/wsp-diff digest \
+            "tests/golden/serve_smoke.json.digest" "$DET_DIR/serve-resumed.json.digest" >&2 || true
+        exit 1
+    fi
+done
+echo "    snapshot/restore roundtrip matches the uninterrupted golden run"
+
 echo "==> wsp-diff regression gate (bench JSON vs committed baselines)"
 # The tolerance-gated diff must pass on the baselines themselves...
-for bin in fig7_network workloads; do
+for bin in fig7_network workloads serve; do
     target/release/wsp-diff bench --tolerances tests/golden/tolerances.txt \
         "tests/golden/${bin}_smoke.json" "$DET_DIR/$bin-dense-t1.json" \
         | sed 's/^/    /'
