@@ -1,0 +1,125 @@
+//! Criterion bench isolating the fabric's data-layout win: lane
+//! pipelines queuing whole `FabricPacket` structs in `VecDeque`s (the
+//! pre-arena layout — one heap ring per lane, ~48-byte copies per
+//! forward) against `PacketRing` index FIFOs over a shared
+//! [`PacketArena`] (4-byte slot copies, columns cache-linear).
+//!
+//! Two forwarding matrices bound the comparison: `neighbour` keeps
+//! every lane's queue shallow (`i → (i+1) % L`, uniform pressure, the
+//! steady-state fabric shape) and `hot_spot` funnels everything toward
+//! lane 0 (`i → i / 2`, deep queues on a few lanes — the wrap-around
+//! and growth path). Both models execute the identical pop/push
+//! schedule, checked once up front by checksum equality.
+
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsp_noc::{FabricPacket, NetworkChoice, NetworkKind, PacketArena, PacketRing};
+use wsp_topo::TileCoord;
+
+/// A forwarding matrix: which lane a popped packet is pushed onto.
+type Matrix = fn(usize) -> usize;
+
+const LANES: usize = 256;
+/// Packets seeded per lane before stepping.
+const DEPTH: usize = 4;
+const STEPS: usize = 512;
+
+fn seed_packet(id: u64) -> FabricPacket {
+    FabricPacket::request(
+        id,
+        TileCoord::new((id % 32) as u16, (id / 32 % 32) as u16),
+        TileCoord::new(31, 31),
+        NetworkChoice::Direct(NetworkKind::Xy),
+        0,
+    )
+}
+
+/// Uniform pressure: every lane forwards to its eastern neighbour.
+fn neighbour(lane: usize) -> usize {
+    (lane + 1) % LANES
+}
+
+/// Convergent pressure: lanes funnel toward lane 0, which recirculates.
+fn hot_spot(lane: usize) -> usize {
+    if lane == 0 {
+        LANES - 1
+    } else {
+        lane / 2
+    }
+}
+
+/// The pre-arena layout: each lane owns a `VecDeque` of whole packets.
+fn run_vecdeque(matrix: Matrix) -> u64 {
+    let mut lanes: Vec<VecDeque<FabricPacket>> = (0..LANES)
+        .map(|lane| {
+            (0..DEPTH)
+                .map(|k| seed_packet((lane * DEPTH + k) as u64))
+                .collect()
+        })
+        .collect();
+    for _ in 0..STEPS {
+        for lane in 0..LANES {
+            if let Some(mut packet) = lanes[lane].pop_front() {
+                packet.hops += 1;
+                lanes[matrix(lane)].push_back(packet);
+            }
+        }
+    }
+    lanes
+        .iter()
+        .flat_map(|lane| lane.iter())
+        .map(|p| p.id.wrapping_mul(u64::from(p.hops)))
+        .fold(0u64, u64::wrapping_add)
+}
+
+/// The arena layout: lanes queue 4-byte slot indices; packet fields
+/// live in the shared struct-of-arrays store.
+fn run_arena(matrix: Matrix) -> u64 {
+    let mut arena = PacketArena::with_capacity(LANES * DEPTH);
+    let mut lanes: Vec<PacketRing> = (0..LANES)
+        .map(|_| PacketRing::with_capacity(DEPTH))
+        .collect();
+    for (lane, ring) in lanes.iter_mut().enumerate() {
+        for k in 0..DEPTH {
+            ring.push(arena.alloc(&seed_packet((lane * DEPTH + k) as u64)));
+        }
+    }
+    for _ in 0..STEPS {
+        for lane in 0..LANES {
+            if let Some(slot) = lanes[lane].pop() {
+                arena.bump_hops(slot);
+                lanes[matrix(lane)].push(slot);
+            }
+        }
+    }
+    lanes
+        .iter()
+        .flat_map(|lane| lane.iter())
+        .map(|slot| arena.id(slot).wrapping_mul(u64::from(arena.hops(slot))))
+        .fold(0u64, u64::wrapping_add)
+}
+
+fn bench_arena_vs_vecdeque(c: &mut Criterion) {
+    let matrices: [(&str, Matrix); 2] = [("neighbour", neighbour), ("hot_spot", hot_spot)];
+    for (name, matrix) in matrices {
+        assert_eq!(
+            run_vecdeque(matrix),
+            run_arena(matrix),
+            "both layouts must execute the identical forwarding schedule"
+        );
+        let mut group = c.benchmark_group(format!("arena_vs_vecdeque/{name}"));
+        group.sample_size(30);
+        group.bench_with_input(BenchmarkId::from_parameter("vecdeque"), &matrix, |b, &m| {
+            b.iter(|| black_box(run_vecdeque(m)));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("arena"), &matrix, |b, &m| {
+            b.iter(|| black_box(run_arena(m)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_arena_vs_vecdeque);
+criterion_main!(benches);

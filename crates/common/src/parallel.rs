@@ -54,10 +54,17 @@ pub fn available_threads() -> usize {
 /// most one. With `shards > items` the trailing ranges are empty, so callers
 /// may always index `bands[shard]` for `shard < shards`.
 pub fn band_ranges(items: usize, shards: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    band_ranges_into(items, shards, &mut out);
+    out
+}
+
+/// [`band_ranges`] into a caller-owned buffer, cleared not reallocated —
+/// for per-tick hot loops that recompute their sharding every cycle.
+pub fn band_ranges_into(items: usize, shards: usize, out: &mut Vec<Range<usize>>) {
     let shards = shards.max(1);
-    (0..shards)
-        .map(|s| (s * items / shards)..((s + 1) * items / shards))
-        .collect()
+    out.clear();
+    out.extend((0..shards).map(|s| (s * items / shards)..((s + 1) * items / shards)));
 }
 
 /// A type-erased pointer to the `run` closure, valid only for the epoch in
@@ -194,6 +201,27 @@ impl WorkerPool {
         assert!(!worker_panicked, "a worker shard panicked");
     }
 
+    /// Runs `f(shard, &mut slots[shard])` for every shard — the
+    /// allocation-free sibling of [`WorkerPool::map`] for hot loops that
+    /// keep one reusable scratch slot per shard across epochs.
+    ///
+    /// `slots.len()` must equal `threads()`.
+    pub fn run_mut<T: Send>(&self, slots: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        assert_eq!(slots.len(), self.threads(), "one slot per shard");
+        struct SlotsPtr<T>(*mut T);
+        // SAFETY: shard indices within an epoch are distinct, so the
+        // `&mut` projections handed to `f` never alias.
+        unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+        let slots = SlotsPtr(slots.as_mut_ptr());
+        let slots = &slots;
+        self.run(&move |shard| {
+            // SAFETY: `shard < threads() == slots.len()` and each shard
+            // runs exactly once per epoch, touching only its own slot.
+            let slot = unsafe { &mut *slots.0.add(shard) };
+            f(shard, slot);
+        });
+    }
+
     /// Moves one value per shard through `f`, returning the outputs in
     /// shard order.
     ///
@@ -325,6 +353,23 @@ impl AdaptiveExecutor {
         }
     }
 
+    /// Runs `f(shard, &mut slots[shard])` for every slot: on the pool
+    /// when `slots` fills every shard, inline otherwise. Like
+    /// [`WorkerPool::run_mut`], nothing is allocated per call — the point
+    /// for per-tick simulation loops reusing per-shard scratch buffers.
+    pub fn run_mut<T: Send>(&self, slots: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        match &self.pool {
+            Some(pool) if slots.len() == pool.threads() && pool.threads() > 1 => {
+                pool.run_mut(slots, f);
+            }
+            _ => {
+                for (shard, slot) in slots.iter_mut().enumerate() {
+                    f(shard, slot);
+                }
+            }
+        }
+    }
+
     /// Moves one value per shard through `f`, in shard order: on the pool
     /// when `inputs` fills every shard, inline otherwise.
     pub fn map<T, R>(&self, inputs: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R>
@@ -447,6 +492,50 @@ mod tests {
                 assert_eq!(s.load(Ordering::SeqCst), 1);
             }
         }
+    }
+
+    #[test]
+    fn band_ranges_into_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        band_ranges_into(10, 3, &mut buf);
+        assert_eq!(buf, band_ranges(10, 3));
+        let cap = buf.capacity();
+        band_ranges_into(7, 2, &mut buf);
+        assert_eq!(buf, band_ranges(7, 2));
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
+    }
+
+    #[test]
+    fn run_mut_gives_each_shard_its_own_slot() {
+        let pool = WorkerPool::new(4);
+        let mut slots = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for epoch in 0..50u64 {
+            pool.run_mut(&mut slots, |shard, slot: &mut Vec<u64>| {
+                slot.push(epoch * 10 + shard as u64);
+            });
+        }
+        for (shard, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.len(), 50);
+            for (epoch, &v) in slot.iter().enumerate() {
+                assert_eq!(v, epoch as u64 * 10 + shard as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_run_mut_matches_inline_and_pooled() {
+        let exec = AdaptiveExecutor::new(3);
+        let mut slots = vec![0u64; 3];
+        exec.run_mut(&mut slots, |shard, slot| *slot = shard as u64 + 1);
+        assert_eq!(slots, vec![1, 2, 3]);
+        // Partial slot counts fall back to inline execution.
+        let mut partial = vec![0u64; 2];
+        exec.run_mut(&mut partial, |shard, slot| *slot = shard as u64 + 1);
+        assert_eq!(partial, vec![1, 2]);
+        let inline = AdaptiveExecutor::new(1);
+        let mut one = vec![0u64; 1];
+        inline.run_mut(&mut one, |shard, slot| *slot = shard as u64 + 7);
+        assert_eq!(one, vec![7]);
     }
 
     #[test]

@@ -163,6 +163,9 @@ pub struct MultiTileMachine {
     /// Request packets delivered at their owner but still waiting for a
     /// bank port (the owner's cores compete through the same crossbar).
     deferred: VecDeque<FabricPacket>,
+    /// Reusable per-cycle fabric delivery buffer
+    /// ([`Fabric::tick_into`] clears it each call).
+    delivered_buf: Vec<FabricPacket>,
     cycles: u64,
     local_accesses: u64,
     remote_accesses: u64,
@@ -241,6 +244,7 @@ impl MultiTileMachine {
             pending: (0..tiles).map(|_| vec![None; cores_per_tile]).collect(),
             in_flight: HashMap::new(),
             deferred: VecDeque::new(),
+            delivered_buf: Vec::new(),
             cycles: 0,
             local_accesses: 0,
             remote_accesses: 0,
@@ -974,20 +978,24 @@ impl MultiTileMachine {
     /// responses wake the issuing core.
     fn advance_fabric(&mut self) {
         let fabric_timer = self.profiler.start();
-        for packet in self.fabric.tick() {
+        let mut delivered = std::mem::take(&mut self.delivered_buf);
+        self.fabric.tick_into(&mut delivered);
+        for &packet in &delivered {
             match packet.kind {
                 PacketKind::Request => self.deferred.push_back(packet),
                 PacketKind::Response => self.complete_response(&packet),
             }
         }
+        self.delivered_buf = delivered;
         let memory_timer = self.profiler.start();
-        let mut waiting = VecDeque::new();
-        while let Some(packet) = self.deferred.pop_front() {
+        // Rotate the deferred queue in place: each request gets one
+        // service attempt, refused ones keep their relative order.
+        for _ in 0..self.deferred.len() {
+            let packet = self.deferred.pop_front().expect("counted");
             if !self.try_service_request(&packet) {
-                waiting.push_back(packet);
+                self.deferred.push_back(packet);
             }
         }
-        self.deferred = waiting;
         self.profiler.stop("machine.fabric.memory", memory_timer);
         self.profiler.stop("machine.fabric", fabric_timer);
     }

@@ -30,6 +30,38 @@
 //! the fabric is **bit-identical at any thread count** — the parallel
 //! backend is an implementation detail, not a different simulator.
 //!
+//! # Data layout and the fused fast path
+//!
+//! In-flight packets live in one struct-of-arrays
+//! [`PacketArena`](crate::arena::PacketArena); router FIFOs are
+//! [`PacketRing`](crate::fifo::PacketRing)s of `u32` arena indices, so a
+//! hop moves 4 bytes instead of a ~48-byte packet, and all per-tick
+//! scratch (planned moves, staged arrivals, ejected indices) is owned by
+//! the fabric and cleared, not reallocated — the steady-state tick
+//! performs **zero heap allocations** (pinned by a counting-allocator
+//! regression test).
+//!
+//! The two-pass plan/apply split exists only to keep plan shards
+//! race-free; whenever planning would run on a single shard anyway
+//! (`threads == 1`, or the active set is below the banding threshold),
+//! [`Fabric::tick_into`] takes a *fused* single pass that plans each tile
+//! and applies its grants immediately. Fusion is bit-identical to the
+//! split by construction:
+//!
+//! - grants read a pre-pop snapshot of the tile's own head routes and
+//!   round-robin pointers, so a tile's own pops cannot disturb its later
+//!   output ports;
+//! - pushes (link arrivals) are staged and committed only at the end of
+//!   each network's pass, exactly as the apply phase does;
+//! - the downstream-occupancy backpressure check reconstructs the
+//!   pre-cycle queue length: each FIFO pops at most once per cycle, and
+//!   pops are stamped with the tick that performed them, so
+//!   `len + (popped this tick)` is the length the plan phase would have
+//!   read;
+//! - the two networks share no queue state, so walking net 0 fully
+//!   before net 1 matches the canonical commit order, and relay
+//!   re-injection/delivery is deferred until both passes complete.
+//!
 //! # Active-set scheduling
 //!
 //! A tile whose five input FIFOs are all empty on a network cannot plan a
@@ -68,16 +100,17 @@
 //! assert_eq!(delivered[0].kind, PacketKind::Request);
 //! ```
 
-use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Arc;
 
-use wsp_common::parallel::{band_ranges, AdaptiveExecutor, Stepping, WorkerPool};
+use wsp_common::parallel::{band_ranges_into, AdaptiveExecutor, Stepping, WorkerPool};
 use wsp_telemetry::{
     DigestJournal, Fnv1a, Histogram, LaneId, NoopSink, PhaseProfiler, Sink, TimeSeries,
 };
 use wsp_topo::{Direction, TileArray, TileCoord, DIRECTIONS};
 
+use crate::arena::PacketArena;
+use crate::fifo::PacketRing;
 use crate::kernel::NetworkChoice;
 use crate::routing::{next_hop, NetworkKind};
 
@@ -87,9 +120,81 @@ const LOCAL: usize = 4;
 /// Sentinel in [`Network::head_out`] for an empty input FIFO.
 const EMPTY_HEAD: u8 = u8::MAX;
 
+/// `DIRECTIONS[i].opposite().index()` as a table: N↔S, E↔W.
+const OPPOSITE: [usize; 4] = [1, 0, 3, 2];
+
+/// Sentinel in the precomputed neighbour-index table for "off the array".
+const NO_NEIGHBOR: u32 = u32::MAX;
+
 /// The local injection FIFO is deeper than a link FIFO by this factor —
 /// it models the tile's outbound staging buffer in local SRAM.
 const LOCAL_QUEUE_FACTOR: usize = 4;
+
+/// One router-FIFO entry: the arena slot plus everything the steady-state
+/// loop needs about the packet's current leg — the cached output port *at
+/// this tile*, the current-leg target and network, and the hop count —
+/// packed into one `u128`. A forward therefore moves a packet hop-to-hop
+/// without ever touching the (randomly-indexed) arena: the arena is read
+/// only at injection, relay re-injection, and delivery.
+///
+/// Layout: bits 0–31 slot, 32–39 output port, 40–55 target x, 56–71
+/// target y, 72–79 network, 80–111 hops.
+#[derive(Clone, Copy, Default)]
+struct RingEntry(u128);
+
+impl RingEntry {
+    fn new(slot: u32, out: u8, target: TileCoord, net: NetworkKind, hops: u32) -> Self {
+        RingEntry(
+            u128::from(slot)
+                | u128::from(out) << 32
+                | u128::from(target.x) << 40
+                | u128::from(target.y) << 56
+                | u128::from(net as u8) << 72
+                | u128::from(hops) << 80,
+        )
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The cached output port at the tile whose FIFO holds this entry.
+    fn out(self) -> u8 {
+        (self.0 >> 32) as u8
+    }
+
+    fn target(self) -> TileCoord {
+        TileCoord::new((self.0 >> 40) as u16, (self.0 >> 56) as u16)
+    }
+
+    fn net(self) -> NetworkKind {
+        if (self.0 >> 72) as u8 == 0 {
+            NetworkKind::Xy
+        } else {
+            NetworkKind::Yx
+        }
+    }
+
+    fn hops(self) -> u32 {
+        (self.0 >> 80) as u32
+    }
+
+    /// The same entry with one more link traversal recorded.
+    fn bumped(self) -> Self {
+        RingEntry(self.0 + (1u128 << 80))
+    }
+}
+
+/// The output port a packet heading for `target` on `net` takes at
+/// `tile`: the local ejection port at its endpoint, otherwise the
+/// dimension-ordered next-hop direction.
+#[inline]
+fn out_port_for(tile: TileCoord, target: TileCoord, net: NetworkKind) -> u8 {
+    match next_hop(tile, target, net) {
+        None => LOCAL as u8,
+        Some(nb) => direction_between(tile, nb) as u8,
+    }
+}
 
 /// What a packet is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +222,9 @@ pub struct FabricPacket {
     /// Request or response.
     pub kind: PacketKind,
     /// Which leg of a relayed route this packet is on (always 0 for
-    /// direct routes).
-    leg: u8,
+    /// direct routes). Crate-visible so the packet arena can mirror it
+    /// into its packed metadata column.
+    pub(crate) leg: u8,
     /// Fabric cycle at which the *request* was injected; responses inherit
     /// it so the delivery cycle minus this is the round-trip time.
     pub injected_at: u64,
@@ -175,56 +281,79 @@ impl FabricPacket {
         }
     }
 
-    /// The tile this packet is currently heading for on its present leg.
-    fn leg_target(&self) -> TileCoord {
-        match (self.choice, self.kind, self.leg) {
-            (NetworkChoice::Relay { via, .. }, PacketKind::Request, 0) => via,
-            (NetworkChoice::Relay { via, .. }, PacketKind::Response, 0) => via,
-            _ => self.dst,
-        }
-    }
-
     /// The network carrying the present leg.
     fn network(&self) -> NetworkKind {
-        match (self.choice, self.kind, self.leg) {
-            (NetworkChoice::Direct(n), PacketKind::Request, _) => n,
-            (NetworkChoice::Direct(n), PacketKind::Response, _) => n.complement(),
-            (NetworkChoice::Relay { first, .. }, PacketKind::Request, 0) => first,
-            (NetworkChoice::Relay { second, .. }, PacketKind::Request, _) => second,
-            // Response retraces: leg 0 is dst→via on second's complement,
-            // leg 1 is via→src on first's complement.
-            (NetworkChoice::Relay { second, .. }, PacketKind::Response, 0) => second.complement(),
-            (NetworkChoice::Relay { first, .. }, PacketKind::Response, _) => first.complement(),
-            (NetworkChoice::Disconnected, _, _) => {
-                unreachable!("disconnected packets are never injected")
-            }
+        self.choice
+            .leg_network(self.kind == PacketKind::Response, self.leg)
+    }
+}
+
+/// Per-tile router hot state, packed into exactly one cache line so a
+/// plan or fused visit touches one line for its own arbitration state and
+/// one line per downstream backpressure probe. The tick loop is
+/// memory-bound on random tile access; this layout is the perf lever.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct Router {
+    /// Mirror of each *link-side* input FIFO's length (ports 0..4; the
+    /// local FIFO is never a forward destination). Exact, because
+    /// [`Fabric::new`] bounds `queue_capacity` to `u16::MAX`; co-located
+    /// with `popped_at` so the backpressure probe is one line.
+    link_len: [u16; 4],
+    /// Routing decision at each FIFO head (`EMPTY_HEAD` when empty), so
+    /// the plan reads a flat `[u8; 5]` instead of chasing five queue
+    /// heads through the routing kernel. Valid because a queued packet's
+    /// route is fixed while it waits: the only `leg` mutation happens
+    /// between an eject pop and a fresh relay [`push`](Network::push).
+    head_out: [u8; 5],
+    /// Round-robin pointers, one per output port; values 0..5.
+    rr: [u8; 5],
+    /// Tick stamp of the most recent pop from each link-side FIFO. The
+    /// fused fast path reconstructs a downstream FIFO's pre-cycle length
+    /// as `len + (popped_at == current tick)` — valid because each FIFO
+    /// pops at most once per cycle and pushes are deferred to the end of
+    /// the network pass.
+    popped_at: [u64; 4],
+}
+
+impl Router {
+    fn new() -> Self {
+        Router {
+            link_len: [0; 4],
+            head_out: [EMPTY_HEAD; 5],
+            rr: [0; 5],
+            popped_at: [0; 4],
         }
     }
 }
 
 /// One mesh network's router state: five input FIFOs per tile
 /// (N, S, E, W, local injection), plus the active-set tracker.
+///
+/// FIFOs hold [`PacketArena`] indices; packet fields live in the shared
+/// arena owned by [`Fabric`].
 struct Network {
-    queues: Vec<[VecDeque<FabricPacket>; 5]>,
-    /// Round-robin pointers, one per (tile, output port).
-    rr: Vec<[usize; 5]>,
+    /// Entries carry the packet's whole per-hop hot state (see
+    /// [`RingEntry`]), so the head-route refresh after a pop reads the
+    /// next entry off the ring line just touched instead of chasing the
+    /// next packet's (cold) arena line — and a forward re-derives the
+    /// downstream output port from the entry alone.
+    queues: Vec<[PacketRing<RingEntry>; 5]>,
+    /// One-cache-line hot state per tile; see [`Router`].
+    routers: Vec<Router>,
     /// Packets queued at each tile across all five FIFOs. The invariant
     /// `occ[t] > 0 ⟺ t can plan a move/stall/rr-update` is what makes
     /// sparse stepping bit-identical to the dense sweep.
     occ: Vec<u32>,
-    /// Struct-of-arrays mirror of the routing decision at each FIFO head
-    /// (`EMPTY_HEAD` when the FIFO is empty), so the plan phase reads a
-    /// flat `[u8; 5]` instead of chasing five deque heads through
-    /// `output_port_of`. Valid because a queued packet's route is fixed
-    /// while it waits: the only `leg` mutation happens between an eject
-    /// pop and a fresh relay [`push`](Network::push).
-    head_out: Vec<[u8; 5]>,
     /// Per-row occupancy bitmask: bit `col` of `row_mask[row]` is set iff
     /// `occ[row * mask_cols + col] > 0`. The dense sweep walks set bits
     /// with `trailing_zeros` instead of touching every idle tile.
     row_mask: Vec<u64>,
     /// Columns per `row_mask` word; 0 disables the mask (cols > 64).
     mask_cols: usize,
+    /// Tiles with `occ > 0`, maintained in O(1) at every push and pop —
+    /// the dense path's active count, without walking the wake list.
+    live: usize,
     /// Tiles with `occ > 0` (plus possibly drained stragglers until the
     /// next [`Network::prune_wake`]). Every push registers its tile here.
     wake: Vec<usize>,
@@ -233,59 +362,99 @@ struct Network {
 }
 
 impl Network {
-    fn new(array: TileArray) -> Self {
+    fn new(array: TileArray, queue_capacity: usize) -> Self {
         let tiles = array.tile_count();
         let cols = array.cols() as usize;
         let mask_cols = if cols <= 64 { cols } else { 0 };
+        // Link FIFOs never outgrow the plan phase's backpressure cap; the
+        // local injection FIFO starts at its bounded-inject depth and
+        // grows only under `inject_unbounded` response buffering.
+        let fresh_queues = || {
+            [
+                PacketRing::with_capacity(queue_capacity),
+                PacketRing::with_capacity(queue_capacity),
+                PacketRing::with_capacity(queue_capacity),
+                PacketRing::with_capacity(queue_capacity),
+                PacketRing::with_capacity(queue_capacity * LOCAL_QUEUE_FACTOR),
+            ]
+        };
         Network {
-            queues: (0..tiles).map(|_| Default::default()).collect(),
-            rr: vec![[0; 5]; tiles],
+            queues: (0..tiles).map(|_| fresh_queues()).collect(),
+            routers: vec![Router::new(); tiles],
             occ: vec![0; tiles],
-            head_out: vec![[EMPTY_HEAD; 5]; tiles],
             row_mask: if mask_cols != 0 {
                 vec![0; array.rows() as usize]
             } else {
                 Vec::new()
             },
             mask_cols,
+            live: 0,
             wake: Vec::new(),
             in_wake: vec![false; tiles],
         }
     }
 
-    /// Enqueues `packet` into FIFO `port` of `tile_idx`, maintaining the
-    /// occupancy count, the wake list, the row bitmask, and the cached
-    /// head routing decision. All fabric pushes go through here.
+    /// Enqueues arena slot `slot` (heading for `target` on `net`, with
+    /// `hops` traversals so far) into FIFO `port` of `tile_idx`,
+    /// maintaining the occupancy count, the wake list, the row bitmask,
+    /// and the cached head routing decision. All fabric pushes go
+    /// through here. The slot's output port *at this tile* is computed
+    /// once here and packed into the ring entry, so later head refreshes
+    /// and forwards never go back to the arena.
     #[inline]
-    fn push(&mut self, array: TileArray, tile_idx: usize, port: usize, packet: FabricPacket) {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        tile: TileCoord,
+        tile_idx: usize,
+        port: usize,
+        slot: u32,
+        target: TileCoord,
+        net: NetworkKind,
+        hops: u32,
+    ) {
+        let out = out_port_for(tile, target, net);
         let queue = &mut self.queues[tile_idx][port];
-        queue.push_back(packet);
+        queue.push(RingEntry::new(slot, out, target, net, hops));
+        let router = &mut self.routers[tile_idx];
         if queue.len() == 1 {
-            self.head_out[tile_idx][port] =
-                output_port_of(array, array.coord_of(tile_idx), &queue[0]) as u8;
+            router.head_out[port] = out;
+        }
+        if port < LOCAL {
+            router.link_len[port] += 1;
         }
         self.note_push(tile_idx);
     }
 
     /// Dequeues the head of FIFO `port` at `tile_idx`, refreshing the
-    /// cached routing decision for the new head. All fabric pops go
-    /// through here.
+    /// cached routing decision for the new head (off the ring entry, not
+    /// the arena) and stamping the pop with `tick` (the fused path's
+    /// pre-cycle-length witness). All fabric pops go through here.
     #[inline]
-    fn pop(&mut self, array: TileArray, tile_idx: usize, port: usize) -> FabricPacket {
+    fn pop(&mut self, tile_idx: usize, port: usize, tick: u64) -> RingEntry {
         let queue = &mut self.queues[tile_idx][port];
-        let packet = queue.pop_front().expect("planned head");
-        self.head_out[tile_idx][port] = match queue.front() {
-            Some(next) => output_port_of(array, array.coord_of(tile_idx), next) as u8,
+        let entry = queue.pop().expect("planned head");
+        let head_out = match queue.front() {
+            Some(next) => next.out(),
             None => EMPTY_HEAD,
         };
+        let router = &mut self.routers[tile_idx];
+        router.head_out[port] = head_out;
+        if port < LOCAL {
+            router.popped_at[port] = tick;
+            router.link_len[port] -= 1;
+        }
         self.note_pop(tile_idx);
-        packet
+        entry
     }
 
     /// Registers one packet pushed into any FIFO of `tile_idx`.
     #[inline]
     fn note_push(&mut self, tile_idx: usize) {
         self.occ[tile_idx] += 1;
+        if self.occ[tile_idx] == 1 {
+            self.live += 1;
+        }
         if self.mask_cols != 0 {
             self.row_mask[tile_idx / self.mask_cols] |= 1u64 << (tile_idx % self.mask_cols);
         }
@@ -300,8 +469,11 @@ impl Network {
     #[inline]
     fn note_pop(&mut self, tile_idx: usize) {
         self.occ[tile_idx] -= 1;
-        if self.occ[tile_idx] == 0 && self.mask_cols != 0 {
-            self.row_mask[tile_idx / self.mask_cols] &= !(1u64 << (tile_idx % self.mask_cols));
+        if self.occ[tile_idx] == 0 {
+            self.live -= 1;
+            if self.mask_cols != 0 {
+                self.row_mask[tile_idx / self.mask_cols] &= !(1u64 << (tile_idx % self.mask_cols));
+            }
         }
     }
 
@@ -363,8 +535,10 @@ enum PlannedMove {
 /// `&Fabric`: the telemetry sink is `Send` but not `Sync`, and planning
 /// must never touch it anyway.
 struct PlanCtx<'a> {
-    array: TileArray,
     queue_capacity: usize,
+    /// Precomputed neighbour tile indices per `(tile, direction)`
+    /// ([`NO_NEIGHBOR`] off the edge) — no coordinate math in the loop.
+    neighbors: &'a [[u32; 4]],
     networks: &'a [Network; 2],
 }
 
@@ -374,13 +548,12 @@ impl PlanCtx<'_> {
     /// to it, against pre-cycle queue state only. A tile with all five
     /// FIFOs empty plans nothing — the fact the sparse scheduler leans on.
     fn plan_tile(&self, network: &Network, tile_idx: usize, moves: &mut Vec<PlannedMove>) {
-        let tile = self.array.coord_of(tile_idx);
         // The cached routing decision per queue head; a head contends for
         // exactly one output port, so grants never overlap. Fold the five
         // heads into per-output-port contender bitmasks.
-        let head_out = network.head_out[tile_idx];
+        let router = &network.routers[tile_idx];
         let mut want = [0u8; 5];
-        for (in_port, &out) in head_out.iter().enumerate() {
+        for (in_port, &out) in router.head_out.iter().enumerate() {
             if out != EMPTY_HEAD {
                 want[out as usize] |= 1 << in_port;
             }
@@ -396,23 +569,21 @@ impl PlanCtx<'_> {
             // mask so the pointer sits at bit 0; the winner is then the
             // lowest set bit — exactly the first hit of the old
             // `(start + o) % 5` scan.
-            let start = network.rr[tile_idx][out_port];
+            let start = usize::from(router.rr[out_port]);
             let rotated = ((contenders >> start) | (contenders << (5 - start))) & 0x1f;
             let in_port = (start + rotated.trailing_zeros() as usize) % 5;
             if out_port == LOCAL {
                 moves.push(PlannedMove::Eject { tile_idx, in_port });
                 continue;
             }
-            let dir = DIRECTIONS[out_port];
-            let Some(nb) = self.array.neighbor(tile, dir) else {
-                unreachable!("DoR never routes off the array");
-            };
-            let nb_idx = self.array.index_of(nb);
-            let in_side = dir.opposite().index();
+            let nb_idx = self.neighbors[tile_idx][out_port];
+            debug_assert_ne!(nb_idx, NO_NEIGHBOR, "DoR never routes off the array");
+            let nb_idx = nb_idx as usize;
+            let in_side = OPPOSITE[out_port];
             // Pre-cycle occupancy: each input FIFO is fed by one
             // physical upstream link, so at most one push lands
             // per cycle and the check cannot oversubscribe.
-            if network.queues[nb_idx][in_side].len() < self.queue_capacity {
+            if usize::from(network.routers[nb_idx].link_len[in_side]) < self.queue_capacity {
                 moves.push(PlannedMove::Forward {
                     tile_idx,
                     in_port,
@@ -426,12 +597,12 @@ impl PlanCtx<'_> {
         }
     }
 
-    /// Plans one dense band of tiles (the reference sweep). When the row
+    /// Plans one dense band of tiles (the reference sweep) into the
+    /// caller's (pre-cleared) per-network move buffers. When the row
     /// bitmasks are live (cols ≤ 64) the walk visits only occupied tiles
     /// via `trailing_zeros` — identical output, because a tile with all
     /// five FIFOs empty plans nothing.
-    fn plan_band(&self, band: Range<usize>) -> [Vec<PlannedMove>; 2] {
-        let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
+    fn plan_band_into(&self, band: Range<usize>, out: &mut [Vec<PlannedMove>; 2]) {
         for (network, moves) in self.networks.iter().zip(out.iter_mut()) {
             let cols = network.mask_cols;
             if cols == 0 {
@@ -460,20 +631,54 @@ impl PlanCtx<'_> {
                 row += 1;
             }
         }
-        out
     }
 
-    /// Plans one slice of each network's (sorted) wake list. Concatenating
-    /// the outputs of consecutive slices replays the dense band walk
-    /// exactly, because idle tiles plan nothing.
-    fn plan_wake_slices(&self, slices: [&[usize]; 2]) -> [Vec<PlannedMove>; 2] {
-        let mut out: [Vec<PlannedMove>; 2] = [Vec::new(), Vec::new()];
+    /// Plans one slice of each network's (sorted) wake list into the
+    /// caller's (pre-cleared) buffers. Concatenating the outputs of
+    /// consecutive slices replays the dense band walk exactly, because
+    /// idle tiles plan nothing.
+    fn plan_wake_slices_into(&self, slices: [&[usize]; 2], out: &mut [Vec<PlannedMove>; 2]) {
         for ((network, moves), slice) in self.networks.iter().zip(out.iter_mut()).zip(slices) {
             for &tile_idx in slice {
                 self.plan_tile(network, tile_idx, moves);
             }
         }
-        out
+    }
+}
+
+/// Reusable per-tick scratch owned by [`Fabric`] — cleared every tick,
+/// reallocated never. Holding these across ticks is what makes the
+/// steady-state tick allocation-free.
+#[derive(Default)]
+struct TickScratch {
+    /// One `[moves; 2]` pair per plan shard. Never shrunk: sparse
+    /// stepping alternates between 1 and `threads()` shards as the
+    /// active set crosses the banding threshold, and shrinking would
+    /// free the idle shards' capacity.
+    shard_plans: Vec<[Vec<PlannedMove>; 2]>,
+    /// Shard band ranges, one buffer per network (dense uses `[0]` only).
+    bands: [Vec<Range<usize>>; 2],
+    /// Staged link arrivals `(net, dest tile, in side, entry)` — the
+    /// entry's hop count already bumped — committed in order after the
+    /// moves that produced them.
+    arrivals: Vec<(u8, u32, u8, RingEntry)>,
+    /// Entries ejected at their endpoint this tick, in canonical
+    /// `(network, tile, output port)` order.
+    ejected: Vec<RingEntry>,
+}
+
+impl TickScratch {
+    /// Grows `shard_plans` to at least `shards` pairs and clears the
+    /// first `shards` of them for this tick's planning.
+    fn reset_shards(&mut self, shards: usize) {
+        if self.shard_plans.len() < shards {
+            self.shard_plans
+                .resize_with(shards, || [Vec::new(), Vec::new()]);
+        }
+        for pair in &mut self.shard_plans[..shards] {
+            pair[0].clear();
+            pair[1].clear();
+        }
     }
 }
 
@@ -484,7 +689,18 @@ impl PlanCtx<'_> {
 pub struct Fabric {
     array: TileArray,
     queue_capacity: usize,
+    /// Row-major tile coordinates, so the hot loop never divides.
+    coords: Vec<TileCoord>,
+    /// Neighbour tile index per `(tile, direction)`, [`NO_NEIGHBOR`] off
+    /// the edge — the hot loop's replacement for coordinate arithmetic.
+    neighbors: Vec<[u32; 4]>,
     networks: [Network; 2],
+    /// Struct-of-arrays store of every in-flight packet; router FIFOs
+    /// hold indices into it. Freed slots recycle, so steady-state
+    /// traffic reaches a fixed footprint.
+    arena: PacketArena,
+    /// Per-tick scratch buffers, cleared not reallocated.
+    scratch: TickScratch,
     /// Per-link stats: `[network][tile][direction]`.
     links: [Vec<[LinkStats; 4]>; 2],
     cycle: u64,
@@ -527,12 +743,41 @@ pub struct Fabric {
 
 impl Fabric {
     /// A fabric over `array` with the given per-link input FIFO depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` exceeds `u16::MAX`: link FIFO lengths
+    /// are mirrored as `u16` in the one-cache-line [`Router`] hot state.
     pub fn new(array: TileArray, queue_capacity: usize) -> Self {
+        assert!(
+            queue_capacity <= u16::MAX as usize,
+            "link FIFO depth must fit in u16"
+        );
         let tiles = array.tile_count();
+        let coords: Vec<TileCoord> = (0..tiles).map(|i| array.coord_of(i)).collect();
+        let neighbors: Vec<[u32; 4]> = coords
+            .iter()
+            .map(|&tile| {
+                let mut nb = [NO_NEIGHBOR; 4];
+                for (d, dir) in DIRECTIONS.into_iter().enumerate() {
+                    if let Some(n) = array.neighbor(tile, dir) {
+                        nb[d] = array.index_of(n) as u32;
+                    }
+                }
+                nb
+            })
+            .collect();
         Fabric {
             array,
             queue_capacity,
-            networks: [Network::new(array), Network::new(array)],
+            coords,
+            neighbors,
+            networks: [
+                Network::new(array, queue_capacity),
+                Network::new(array, queue_capacity),
+            ],
+            arena: PacketArena::default(),
+            scratch: TickScratch::default(),
             links: [
                 vec![[LinkStats::default(); 4]; tiles],
                 vec![[LinkStats::default(); 4]; tiles],
@@ -687,9 +932,23 @@ impl Fabric {
     pub fn inject(&mut self, packet: FabricPacket) -> bool {
         let net = packet.network() as usize;
         let idx = self.array.index_of(packet.src);
-        let network = &mut self.networks[net];
-        if network.queues[idx][LOCAL].len() < self.queue_capacity * LOCAL_QUEUE_FACTOR {
-            network.push(self.array, idx, LOCAL, packet);
+        if self.networks[net].queues[idx][LOCAL].len() < self.queue_capacity * LOCAL_QUEUE_FACTOR {
+            let slot = self.arena.alloc(&packet);
+            let Fabric {
+                coords,
+                networks,
+                arena,
+                ..
+            } = self;
+            networks[net].push(
+                coords[idx],
+                idx,
+                LOCAL,
+                slot,
+                arena.leg_target(slot),
+                arena.network_of(slot),
+                packet.hops,
+            );
             true
         } else {
             false
@@ -702,12 +961,40 @@ impl Fabric {
     pub fn inject_unbounded(&mut self, packet: FabricPacket) {
         let net = packet.network() as usize;
         let idx = self.array.index_of(packet.src);
-        self.networks[net].push(self.array, idx, LOCAL, packet);
+        let slot = self.arena.alloc(&packet);
+        let Fabric {
+            coords,
+            networks,
+            arena,
+            ..
+        } = self;
+        networks[net].push(
+            coords[idx],
+            idx,
+            LOCAL,
+            slot,
+            arena.leg_target(slot),
+            arena.network_of(slot),
+            packet.hops,
+        );
     }
 
     /// Packets currently queued anywhere in the fabric.
     pub fn in_flight(&self) -> usize {
         self.networks[0].total_occupancy() + self.networks[1].total_occupancy()
+    }
+
+    /// Packets currently resident in the arena. Always equals
+    /// [`Fabric::in_flight`] between ticks — the leak invariant the
+    /// proptest harness asserts after every drain.
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Total arena slots ever allocated — the high-water in-flight
+    /// footprint (slots recycle; this never shrinks).
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slots()
     }
 
     /// Advances one cycle: every router grants each output port to one
@@ -724,16 +1011,36 @@ impl Fabric {
     /// when one is installed; see the module docs for why the result is
     /// bit-identical at any thread count.
     pub fn tick(&mut self) -> Vec<FabricPacket> {
+        let mut delivered = Vec::new();
+        self.tick_into(&mut delivered);
+        delivered
+    }
+
+    /// [`Fabric::tick`] into a caller-owned delivery buffer, which is
+    /// cleared first — the allocation-free form hot drivers loop on.
+    pub fn tick_into(&mut self, delivered: &mut Vec<FabricPacket>) {
+        delivered.clear();
         self.cycle += 1;
         self.ticks += 1;
 
-        // Canonicalise the wake lists and sample the active set in both
-        // stepping modes: the sample is a pure function of queue state, so
-        // the exported histogram is identical across modes and threads.
+        // Sample the active set in both stepping modes: the sample is a
+        // pure function of queue state, so the exported histogram is
+        // identical across modes and threads. Only the sparse walks need
+        // the wake lists canonicalised (pruned and sorted); the dense
+        // sweep reads the O(1) occupied-tile counters instead.
         let mut active = 0usize;
-        for network in &mut self.networks {
-            network.prune_wake();
-            active += network.wake.len();
+        match self.stepping {
+            Stepping::Dense => {
+                for network in &self.networks {
+                    active += network.live;
+                }
+            }
+            Stepping::Sparse | Stepping::Wheel => {
+                for network in &mut self.networks {
+                    network.prune_wake();
+                    active += network.wake.len();
+                }
+            }
         }
         self.active_tiles.record(active as u64);
 
@@ -750,123 +1057,28 @@ impl Fabric {
             self.samples[3].1.record(cycle, (occ0 + occ1) as f64);
         }
 
-        let tiles = self.array.tile_count();
-        let plan_timer = self.profiler.start();
-        let plans: Vec<[Vec<PlannedMove>; 2]> = {
-            let ctx = PlanCtx {
-                array: self.array,
-                queue_capacity: self.queue_capacity,
-                networks: &self.networks,
-            };
-            match self.stepping {
-                Stepping::Dense => match self.exec.pool() {
-                    None => vec![ctx.plan_band(0..tiles)],
-                    Some(pool) => {
-                        let bands = band_ranges(tiles, pool.threads());
-                        pool.map(bands, |_, band| ctx.plan_band(band))
-                    }
-                },
-                Stepping::Sparse | Stepping::Wheel => {
-                    let shards = self.exec.shards_for(active);
-                    if shards <= 1 {
-                        vec![ctx.plan_wake_slices([&self.networks[0].wake, &self.networks[1].wake])]
-                    } else {
-                        // Shard each network's wake list independently;
-                        // concatenating shard outputs per network restores
-                        // the ascending tile order of the dense walk.
-                        let bands: [Vec<Range<usize>>; 2] = [
-                            band_ranges(self.networks[0].wake.len(), shards),
-                            band_ranges(self.networks[1].wake.len(), shards),
-                        ];
-                        let inputs: Vec<[&[usize]; 2]> = (0..shards)
-                            .map(|s| {
-                                [
-                                    &self.networks[0].wake[bands[0][s].clone()],
-                                    &self.networks[1].wake[bands[1][s].clone()],
-                                ]
-                            })
-                            .collect();
-                        self.exec
-                            .map(inputs, |_, slices| ctx.plan_wake_slices(slices))
-                    }
-                }
-            }
+        // Whenever planning would run on a single shard anyway, the
+        // plan/apply split buys no parallelism — take the fused single
+        // pass instead (bit-identical; see the module docs).
+        let fused = match self.stepping {
+            Stepping::Dense => self.exec.pool().is_none(),
+            Stepping::Sparse | Stepping::Wheel => self.exec.shards_for(active) <= 1,
         };
-        self.profiler.stop("plan", plan_timer);
-        let apply_timer = self.profiler.start();
-
-        // Commit phase: bands are concatenated in tile order, so this
-        // replays the canonical sequential (network, tile, out_port) walk.
-        let mut arrivals: Vec<(usize, usize, usize, FabricPacket)> = Vec::new();
-        let mut ejected: Vec<FabricPacket> = Vec::new();
-        for net_idx in 0..2 {
-            for band_plan in &plans {
-                for mv in &band_plan[net_idx] {
-                    match *mv {
-                        PlannedMove::Eject { tile_idx, in_port } => {
-                            let network = &mut self.networks[net_idx];
-                            let packet = network.pop(self.array, tile_idx, in_port);
-                            network.rr[tile_idx][LOCAL] = (in_port + 1) % 5;
-                            ejected.push(packet);
-                        }
-                        PlannedMove::Forward {
-                            tile_idx,
-                            in_port,
-                            out_port,
-                            nb_idx,
-                            in_side,
-                        } => {
-                            let network = &mut self.networks[net_idx];
-                            let mut packet = network.pop(self.array, tile_idx, in_port);
-                            network.rr[tile_idx][out_port] = (in_port + 1) % 5;
-                            packet.hops += 1;
-                            self.link_traversals += 1;
-                            self.links[net_idx][tile_idx][out_port].forwarded += 1;
-                            arrivals.push((net_idx, nb_idx, in_side, packet));
-                        }
-                        PlannedMove::Stall { tile_idx, out_port } => {
-                            self.links[net_idx][tile_idx][out_port].stall_cycles += 1;
-                        }
-                    }
-                }
-            }
+        if fused {
+            let fused_timer = self.profiler.start();
+            self.fused_walk(0);
+            self.fused_walk(1);
+            self.resolve_ejected(delivered);
+            self.profiler.stop("fused", fused_timer);
+        } else {
+            let plan_timer = self.profiler.start();
+            let shards = self.plan_into_scratch(active);
+            self.profiler.stop("plan", plan_timer);
+            let apply_timer = self.profiler.start();
+            self.apply_scratch(shards);
+            self.resolve_ejected(delivered);
+            self.profiler.stop("apply", apply_timer);
         }
-
-        for (net, tile, port, packet) in arrivals {
-            let network = &mut self.networks[net];
-            network.push(self.array, tile, port, packet);
-            // `port` is the receiving side, which faces back toward the
-            // sender; attribute the peak to the upstream link feeding it.
-            let occupancy = network.queues[tile][port].len();
-            let upstream = self
-                .array
-                .neighbor(self.array.coord_of(tile), DIRECTIONS[port])
-                .expect("arrival came from a neighbour");
-            let link_dir = DIRECTIONS[port].opposite();
-            let stats = &mut self.links[net][self.array.index_of(upstream)][link_dir.index()];
-            stats.peak_occupancy = stats.peak_occupancy.max(occupancy);
-        }
-
-        // Relay packets reaching their intermediate tile start their
-        // second leg: the via tile re-injects them locally, spending its
-        // own cycles — the paper's software relay workaround.
-        let mut delivered = Vec::new();
-        for mut packet in ejected {
-            if matches!(packet.choice, NetworkChoice::Relay { .. }) && packet.leg == 0 {
-                packet.leg = 1;
-                self.relay_forwards += 1;
-                let via = match packet.choice {
-                    NetworkChoice::Relay { via, .. } => via,
-                    _ => unreachable!(),
-                };
-                let net = packet.network() as usize;
-                let idx = self.array.index_of(via);
-                self.networks[net].push(self.array, idx, LOCAL, packet);
-            } else {
-                delivered.push(packet);
-            }
-        }
-        self.profiler.stop("apply", apply_timer);
 
         // Digest window boundary: fingerprint every router's post-cycle
         // state (queue contents and round-robin pointers) into per-lane
@@ -877,7 +1089,7 @@ impl Fabric {
         }
 
         if self.sink.enabled() {
-            for p in &delivered {
+            for p in delivered.iter() {
                 let name = match p.kind {
                     PacketKind::Request => "request",
                     PacketKind::Response => "response",
@@ -887,7 +1099,300 @@ impl Fabric {
                     .span("fabric", name, track, p.injected_at, self.cycle);
             }
         }
-        delivered
+    }
+
+    /// The two-pass plan phase, sharded across the executor into the
+    /// reusable scratch buffers. Returns the shard count planned with.
+    fn plan_into_scratch(&mut self, active: usize) -> usize {
+        let tiles = self.array.tile_count();
+        let Fabric {
+            queue_capacity,
+            neighbors,
+            networks,
+            stepping,
+            exec,
+            scratch,
+            ..
+        } = self;
+        let ctx = PlanCtx {
+            queue_capacity: *queue_capacity,
+            neighbors,
+            networks,
+        };
+        match stepping {
+            Stepping::Dense => {
+                let pool = exec.pool().expect("dense single-shard ticks are fused");
+                let shards = pool.threads();
+                scratch.reset_shards(shards);
+                band_ranges_into(tiles, shards, &mut scratch.bands[0]);
+                let bands = &scratch.bands[0];
+                pool.run_mut(&mut scratch.shard_plans[..shards], |shard, out| {
+                    ctx.plan_band_into(bands[shard].clone(), out)
+                });
+                shards
+            }
+            Stepping::Sparse | Stepping::Wheel => {
+                let shards = exec.shards_for(active);
+                debug_assert!(shards > 1, "single-shard sparse ticks are fused");
+                scratch.reset_shards(shards);
+                // Shard each network's wake list independently;
+                // concatenating shard outputs per network restores the
+                // ascending tile order of the dense walk.
+                band_ranges_into(ctx.networks[0].wake.len(), shards, &mut scratch.bands[0]);
+                band_ranges_into(ctx.networks[1].wake.len(), shards, &mut scratch.bands[1]);
+                let bands = &scratch.bands;
+                exec.run_mut(&mut scratch.shard_plans[..shards], |shard, out| {
+                    ctx.plan_wake_slices_into(
+                        [
+                            &ctx.networks[0].wake[bands[0][shard].clone()],
+                            &ctx.networks[1].wake[bands[1][shard].clone()],
+                        ],
+                        out,
+                    )
+                });
+                shards
+            }
+        }
+    }
+
+    /// The two-pass apply phase: commits the planned moves of the first
+    /// `shards` scratch buffers sequentially. Bands are concatenated in
+    /// tile order, so this replays the canonical sequential
+    /// `(network, tile, out_port)` walk.
+    fn apply_scratch(&mut self, shards: usize) {
+        let tick = self.ticks;
+        let shard_plans = std::mem::take(&mut self.scratch.shard_plans);
+        for net_idx in 0..2 {
+            for band_plan in &shard_plans[..shards] {
+                for mv in &band_plan[net_idx] {
+                    match *mv {
+                        PlannedMove::Eject { tile_idx, in_port } => {
+                            let network = &mut self.networks[net_idx];
+                            let entry = network.pop(tile_idx, in_port, tick);
+                            network.routers[tile_idx].rr[LOCAL] = ((in_port + 1) % 5) as u8;
+                            self.scratch.ejected.push(entry);
+                        }
+                        PlannedMove::Forward {
+                            tile_idx,
+                            in_port,
+                            out_port,
+                            nb_idx,
+                            in_side,
+                        } => {
+                            let network = &mut self.networks[net_idx];
+                            let entry = network.pop(tile_idx, in_port, tick);
+                            network.routers[tile_idx].rr[out_port] = ((in_port + 1) % 5) as u8;
+                            // Link stats land in `commit_arrivals`, which
+                            // touches the same cache lines anyway.
+                            self.scratch.arrivals.push((
+                                net_idx as u8,
+                                nb_idx as u32,
+                                in_side as u8,
+                                entry.bumped(),
+                            ));
+                        }
+                        PlannedMove::Stall { tile_idx, out_port } => {
+                            self.links[net_idx][tile_idx][out_port].stall_cycles += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.scratch.shard_plans = shard_plans;
+        self.commit_arrivals();
+    }
+
+    /// The fused single-pass walk of one network: plans each occupied
+    /// tile against reconstructed pre-cycle state and applies its grants
+    /// immediately, staging arrivals until the pass completes. See the
+    /// module docs for the bit-identity argument.
+    fn fused_walk(&mut self, net_idx: usize) {
+        match self.stepping {
+            Stepping::Dense => {
+                let cols = self.networks[net_idx].mask_cols;
+                if cols == 0 {
+                    for tile_idx in 0..self.array.tile_count() {
+                        self.fuse_tile(net_idx, tile_idx);
+                    }
+                } else {
+                    // Copy each row's mask before walking it: the walk
+                    // only clears bits of the tile it is visiting (pops
+                    // at that tile), and pushes are staged, so the copy
+                    // is exactly the pre-cycle occupancy the two-pass
+                    // plan would read.
+                    for row in 0..self.networks[net_idx].row_mask.len() {
+                        let base = row * cols;
+                        let mut bits = self.networks[net_idx].row_mask[row];
+                        while bits != 0 {
+                            let col = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            self.fuse_tile(net_idx, base + col);
+                        }
+                    }
+                }
+            }
+            Stepping::Sparse | Stepping::Wheel => {
+                // The wake list is pruned and sorted; pops never touch
+                // it and pushes are staged, so it is stable for the walk
+                // (taken and restored around the borrow).
+                let wake = std::mem::take(&mut self.networks[net_idx].wake);
+                for &tile_idx in &wake {
+                    self.fuse_tile(net_idx, tile_idx);
+                }
+                self.networks[net_idx].wake = wake;
+            }
+        }
+        self.commit_arrivals();
+    }
+
+    /// Plans and applies one tile on one network inside a fused pass.
+    fn fuse_tile(&mut self, net_idx: usize, tile_idx: usize) {
+        let tick = self.ticks;
+        let Fabric {
+            queue_capacity,
+            neighbors,
+            networks,
+            links,
+            scratch,
+            ..
+        } = self;
+        let network = &mut networks[net_idx];
+        // Snapshot the head routes before any of this tile's own pops
+        // refresh them — the pre-cycle state the plan phase reads.
+        let head_out = network.routers[tile_idx].head_out;
+        let mut want = [0u8; 5];
+        for (in_port, &out) in head_out.iter().enumerate() {
+            if out != EMPTY_HEAD {
+                want[out as usize] |= 1 << in_port;
+            }
+        }
+        // `out_port` indexes `rr`/`links` too, not just DIRECTIONS.
+        #[allow(clippy::needless_range_loop)]
+        for out_port in 0..5 {
+            let contenders = u32::from(want[out_port]);
+            if contenders == 0 {
+                continue;
+            }
+            let start = usize::from(network.routers[tile_idx].rr[out_port]);
+            let rotated = ((contenders >> start) | (contenders << (5 - start))) & 0x1f;
+            let in_port = (start + rotated.trailing_zeros() as usize) % 5;
+            if out_port == LOCAL {
+                let entry = network.pop(tile_idx, in_port, tick);
+                network.routers[tile_idx].rr[LOCAL] = ((in_port + 1) % 5) as u8;
+                scratch.ejected.push(entry);
+                continue;
+            }
+            let nb_idx = neighbors[tile_idx][out_port];
+            debug_assert_ne!(nb_idx, NO_NEIGHBOR, "DoR never routes off the array");
+            let nb_idx = nb_idx as usize;
+            let in_side = OPPOSITE[out_port];
+            // Pre-cycle occupancy of the downstream FIFO: it pops at
+            // most once per cycle (stamped), and its arrivals are still
+            // staged, so adding the pop back reconstructs the length
+            // the plan phase would have read. One cache line: the
+            // neighbour's length mirror and pop stamp share a `Router`.
+            let nb_router = &network.routers[nb_idx];
+            let pre_len = usize::from(nb_router.link_len[in_side])
+                + usize::from(nb_router.popped_at[in_side] == tick);
+            if pre_len < *queue_capacity {
+                let entry = network.pop(tile_idx, in_port, tick);
+                network.routers[tile_idx].rr[out_port] = ((in_port + 1) % 5) as u8;
+                // Link stats land in `commit_arrivals`, which touches
+                // the same cache lines anyway.
+                scratch.arrivals.push((
+                    net_idx as u8,
+                    nb_idx as u32,
+                    in_side as u8,
+                    entry.bumped(),
+                ));
+            } else {
+                links[net_idx][tile_idx][out_port].stall_cycles += 1;
+            }
+        }
+    }
+
+    /// Pushes the staged arrivals into their destination FIFOs in order,
+    /// attributing peak occupancy to the upstream link that fed each.
+    fn commit_arrivals(&mut self) {
+        let Fabric {
+            coords,
+            neighbors,
+            networks,
+            links,
+            scratch,
+            link_traversals,
+            ..
+        } = self;
+        *link_traversals += scratch.arrivals.len() as u64;
+        for &(net, nb_idx, in_side, entry) in &scratch.arrivals {
+            let (net, tile, port) = (net as usize, nb_idx as usize, in_side as usize);
+            let network = &mut networks[net];
+            network.push(
+                coords[tile],
+                tile,
+                port,
+                entry.slot(),
+                entry.target(),
+                entry.net(),
+                entry.hops(),
+            );
+            // `port` is the receiving side, which faces back toward the
+            // sender; attribute the traversal and the peak to the
+            // upstream link feeding it.
+            let occupancy = network.queues[tile][port].len();
+            let upstream = neighbors[tile][port];
+            debug_assert_ne!(upstream, NO_NEIGHBOR, "arrival came from a neighbour");
+            let stats = &mut links[net][upstream as usize][OPPOSITE[port]];
+            stats.forwarded += 1;
+            stats.peak_occupancy = stats.peak_occupancy.max(occupancy);
+        }
+        scratch.arrivals.clear();
+    }
+
+    /// Resolves this tick's ejected slots in order: relay packets
+    /// reaching their intermediate tile start their second leg (the via
+    /// tile re-injects them locally, spending its own cycles — the
+    /// paper's software relay workaround); everything else is delivered.
+    fn resolve_ejected(&mut self, delivered: &mut Vec<FabricPacket>) {
+        let mut ejected = std::mem::take(&mut self.scratch.ejected);
+        for &entry in &ejected {
+            let slot = entry.slot();
+            if matches!(self.arena.choice(slot), NetworkChoice::Relay { .. })
+                && self.arena.leg(slot) == 0
+            {
+                self.arena.set_leg(slot, 1);
+                self.relay_forwards += 1;
+                let NetworkChoice::Relay { via, .. } = self.arena.choice(slot) else {
+                    unreachable!()
+                };
+                let net = self.arena.network_of(slot) as usize;
+                let idx = self.array.index_of(via);
+                let Fabric {
+                    coords,
+                    networks,
+                    arena,
+                    ..
+                } = &mut *self;
+                networks[net].push(
+                    coords[idx],
+                    idx,
+                    LOCAL,
+                    slot,
+                    arena.leg_target(slot),
+                    arena.network_of(slot),
+                    entry.hops(),
+                );
+            } else {
+                // The fabric tracks hop counts in its ring entries (the
+                // arena column holds the count as of injection), so the
+                // delivered packet takes the entry's value.
+                let mut packet = self.arena.take(slot);
+                packet.hops = entry.hops();
+                delivered.push(packet);
+            }
+        }
+        ejected.clear();
+        self.scratch.ejected = ejected;
     }
 
     /// Fingerprints every router's current state into the journal's net
@@ -895,7 +1400,10 @@ impl Fabric {
     fn record_net_lanes(&mut self, cycle: u64) {
         let tiles = self.array.tile_count();
         let Fabric {
-            networks, journal, ..
+            networks,
+            journal,
+            arena,
+            ..
         } = self;
         let Some(journal) = journal.as_mut() else {
             return;
@@ -905,12 +1413,13 @@ impl Fabric {
                 let mut h = Fnv1a::new();
                 for port in 0..5 {
                     h.write_u32(network.queues[tile][port].len() as u32);
-                    for p in &network.queues[tile][port] {
-                        h.write_u64(p.id);
-                        h.write_u8(p.leg);
-                        h.write_u32(p.hops);
+                    for entry in network.queues[tile][port].iter() {
+                        let slot = entry.slot();
+                        h.write_u64(arena.id(slot));
+                        h.write_u8(arena.leg(slot));
+                        h.write_u32(entry.hops());
                     }
-                    h.write_u8(network.rr[tile][port] as u8);
+                    h.write_u8(network.routers[tile].rr[port]);
                 }
                 journal.record(
                     cycle,
@@ -992,10 +1501,12 @@ impl Fabric {
     /// regression alarm for that property.
     pub fn drain(&mut self) -> Vec<FabricPacket> {
         let mut out = Vec::new();
+        let mut batch = Vec::new();
         let mut idle_cycles = 0u64;
         while self.in_flight() > 0 {
             let before = self.in_flight();
-            out.extend(self.tick());
+            self.tick_into(&mut batch);
+            out.extend_from_slice(&batch);
             if self.in_flight() == before {
                 idle_cycles += 1;
                 assert!(
@@ -1145,21 +1656,19 @@ impl Fabric {
     }
 }
 
-/// Output port (0..=3 = direction, 4 = local) for `packet` at `tile`.
-///
-/// A free function (not a `Fabric` method) so plan workers can call it
-/// through [`PlanCtx`] without borrowing the whole fabric.
-fn output_port_of(array: TileArray, tile: TileCoord, packet: &FabricPacket) -> usize {
-    let target = packet.leg_target();
-    match next_hop(tile, target, packet.network()) {
-        None => LOCAL,
-        Some(nb) => {
-            let dir = DIRECTIONS
-                .into_iter()
-                .find(|d| array.neighbor(tile, *d) == Some(nb))
-                .expect("next hop is a neighbour");
-            dir.index()
-        }
+/// [`DIRECTIONS`] index of adjacent `nb` relative to `tile` — the inverse
+/// of `Direction::offset`, branch-direct so the FIFO head refresh does
+/// not scan the direction table.
+#[inline]
+fn direction_between(tile: TileCoord, nb: TileCoord) -> usize {
+    if nb.y < tile.y {
+        0 // North
+    } else if nb.y > tile.y {
+        1 // South
+    } else if nb.x > tile.x {
+        2 // East
+    } else {
+        3 // West
     }
 }
 
@@ -1368,6 +1877,113 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn fused_dense_matches_the_pooled_two_pass_sweep() {
+        // threads == 1 takes the fused single pass; a pool forces the
+        // two-pass plan/apply split. Same flood, byte-identical results.
+        let run = |threads: usize| {
+            let mut fabric = Fabric::new(TileArray::new(8, 8), 2);
+            fabric.set_stepping(Stepping::Dense);
+            fabric.set_threads(threads);
+            for _ in 0..3 {
+                for x in 0..8u16 {
+                    for y in 0..8u16 {
+                        if (x, y) == (4, 4) {
+                            continue;
+                        }
+                        let p = direct_req(&mut fabric, (x, y), (4, 4));
+                        fabric.inject(p);
+                        let q = direct_req(&mut fabric, (x, y), (y, x));
+                        fabric.inject(q);
+                    }
+                }
+            }
+            let delivered: Vec<(u64, u32, u64)> = fabric
+                .drain()
+                .into_iter()
+                .map(|p| (p.id, p.hops, p.injected_at))
+                .collect();
+            (
+                delivered,
+                fabric.cycle(),
+                fabric.link_traversals(),
+                fabric.total_stall_cycles(),
+                fabric.peak_link_occupancy(),
+                fabric.utilization_heatmap(),
+            )
+        };
+        let fused = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), fused, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fused_sparse_matches_the_sharded_two_pass_walk() {
+        // A 32x32 all-tiles flood keeps the active set above the banding
+        // threshold (64 x threads), so the threaded run genuinely shards
+        // its wake lists while threads == 1 takes the fused pass.
+        let run = |threads: usize| {
+            let mut fabric = Fabric::new(TileArray::new(32, 32), 2);
+            fabric.set_threads(threads);
+            for x in 0..32u16 {
+                for y in 0..32u16 {
+                    let p = direct_req(&mut fabric, (x, y), (31 - x, 31 - y));
+                    fabric.inject(p);
+                    let q = direct_req(&mut fabric, (x, y), (y, x));
+                    fabric.inject(q);
+                }
+            }
+            let delivered: Vec<(u64, u32, u64)> = fabric
+                .drain()
+                .into_iter()
+                .map(|p| (p.id, p.hops, p.injected_at))
+                .collect();
+            (
+                delivered,
+                fabric.cycle(),
+                fabric.link_traversals(),
+                fabric.total_stall_cycles(),
+                fabric.peak_link_occupancy(),
+                fabric.utilization_heatmap(),
+            )
+        };
+        let fused = run(1);
+        assert_eq!(run(8), fused);
+    }
+
+    #[test]
+    fn drained_fabric_releases_every_arena_slot() {
+        let mut fabric = Fabric::new(TileArray::new(8, 8), 2);
+        for round in 0..4 {
+            for x in 0..8u16 {
+                for y in 0..8u16 {
+                    let p = direct_req(&mut fabric, (x, y), (7 - x, 7 - y));
+                    fabric.inject(p);
+                }
+            }
+            assert!(fabric.arena_live() > 0);
+            fabric.drain();
+            assert_eq!(fabric.arena_live(), 0, "round {round} leaked slots");
+        }
+        // Recycling bounds the footprint at one round's peak in flight.
+        let footprint = fabric.arena_slots();
+        for _ in 0..4 {
+            for x in 0..8u16 {
+                for y in 0..8u16 {
+                    let p = direct_req(&mut fabric, (x, y), (7 - x, 7 - y));
+                    fabric.inject(p);
+                }
+            }
+            fabric.drain();
+        }
+        assert_eq!(
+            fabric.arena_slots(),
+            footprint,
+            "steady churn grew the arena"
+        );
     }
 
     #[test]

@@ -42,6 +42,49 @@ pub enum NetworkChoice {
     Disconnected,
 }
 
+impl NetworkChoice {
+    /// The tile a packet on leg `leg` of this choice heads for, given its
+    /// final destination `dst`: relay routes aim at the `via` tile on leg
+    /// 0, every other case aims at `dst`. Requests and responses agree —
+    /// a response retraces the same two legs in reverse order, so its
+    /// leg-0 target is the same intermediate tile.
+    ///
+    /// This lives on the choice (not the packet) so the fabric's
+    /// struct-of-arrays packet arena can answer route queries from its
+    /// parallel columns without materialising a packet.
+    #[inline]
+    pub fn leg_target(self, leg: u8, dst: TileCoord) -> TileCoord {
+        match (self, leg) {
+            (NetworkChoice::Relay { via, .. }, 0) => via,
+            _ => dst,
+        }
+    }
+
+    /// The network carrying leg `leg`. A `response` retraces the
+    /// request's physical path in reverse on the complementary networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`NetworkChoice::Disconnected`]: unreachable pairs are
+    /// rejected before any routing question is asked.
+    #[inline]
+    pub fn leg_network(self, response: bool, leg: u8) -> NetworkKind {
+        match (self, response, leg) {
+            (NetworkChoice::Direct(n), false, _) => n,
+            (NetworkChoice::Direct(n), true, _) => n.complement(),
+            (NetworkChoice::Relay { first, .. }, false, 0) => first,
+            (NetworkChoice::Relay { second, .. }, false, _) => second,
+            // Response retraces: leg 0 is dst→via on second's complement,
+            // leg 1 is via→src on first's complement.
+            (NetworkChoice::Relay { second, .. }, true, 0) => second.complement(),
+            (NetworkChoice::Relay { first, .. }, true, _) => first.complement(),
+            (NetworkChoice::Disconnected, _, _) => {
+                unreachable!("disconnected packets are never routed")
+            }
+        }
+    }
+}
+
 impl fmt::Display for NetworkChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

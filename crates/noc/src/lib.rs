@@ -40,6 +40,7 @@
 //! assert!(dual <= single);
 //! ```
 
+pub mod arena;
 pub mod connectivity;
 pub mod fabric;
 pub mod fifo;
@@ -48,12 +49,13 @@ pub mod oddeven;
 pub mod routing;
 pub mod traffic;
 
+pub use arena::PacketArena;
 pub use connectivity::{
     disconnected_fraction, healthy_region_connected, sample_connected_fault_map, ConnectivityPoint,
     ConnectivitySweep, RoutingScheme, SampleConnectedError,
 };
 pub use fabric::{Fabric, FabricPacket, LinkStats, PacketKind};
-pub use fifo::AsyncFifo;
+pub use fifo::{AsyncFifo, PacketRing};
 pub use kernel::{NetworkChoice, RoutePlanner, RoutingTable};
 pub use oddeven::{
     odd_even_disconnected_fraction, odd_even_reachable, route_odd_even, turn_allowed,

@@ -112,6 +112,11 @@ pub struct NocSim {
     /// wheel-stepping mode jumps the clock to when the fabric is empty.
     pending_responses: EventWheel<FabricPacket>,
     stats: SimReport,
+    /// Reusable per-step delivery buffer ([`Fabric::tick_into`] clears
+    /// it), so the steady-state step allocates nothing.
+    delivered_buf: Vec<FabricPacket>,
+    /// Reusable per-cycle injection staging buffer.
+    inject_buf: Vec<(TileCoord, TileCoord, NetworkChoice)>,
 }
 
 impl NocSim {
@@ -128,6 +133,8 @@ impl NocSim {
             healthy,
             pending_responses: EventWheel::new(),
             stats: SimReport::default(),
+            delivered_buf: Vec::new(),
+            inject_buf: Vec::new(),
         }
     }
 
@@ -300,8 +307,10 @@ impl NocSim {
 
     /// Injects one cycle of traffic per the pattern.
     fn inject<R: Rng + ?Sized>(&mut self, pattern: TrafficPattern, rng: &mut R) {
-        // Collect injections first to avoid borrowing conflicts.
-        let mut to_inject = Vec::new();
+        // Stage injections first to avoid borrowing conflicts; the
+        // buffer is owned and reused across cycles.
+        let mut to_inject = std::mem::take(&mut self.inject_buf);
+        to_inject.clear();
         for &src in &self.healthy {
             if !rng.random_bool(self.config.injection_rate) {
                 continue;
@@ -316,7 +325,7 @@ impl NocSim {
             }
             to_inject.push((src, dst, choice));
         }
-        for (src, dst, choice) in to_inject {
+        for &(src, dst, choice) in &to_inject {
             // Ids advance even when the injection is refused, so packet
             // id sequences are stable under backpressure.
             let id = self.fabric.allocate_id();
@@ -327,6 +336,7 @@ impl NocSim {
                 self.stats.injection_backpressure += 1;
             }
         }
+        self.inject_buf = to_inject;
     }
 
     /// Advances the simulator one cycle.
@@ -342,9 +352,12 @@ impl NocSim {
             self.fabric.inject_unbounded(packet);
         }
 
-        for packet in self.fabric.tick() {
+        let mut delivered = std::mem::take(&mut self.delivered_buf);
+        self.fabric.tick_into(&mut delivered);
+        for &packet in &delivered {
             self.handle_delivery(packet);
         }
+        self.delivered_buf = delivered;
     }
 
     /// Handles a packet arriving at its final endpoint.

@@ -1,27 +1,30 @@
 //! Property tests for the [`wsp_noc::Fabric`] engine: packet
 //! conservation, destination correctness, exclusion of disconnected
-//! pairs, and deterministic replay of the traffic simulator.
+//! pairs, deterministic replay of the traffic simulator, and the
+//! arena/ring-buffer invariants of the data-oriented hot loop —
+//! wrap-around at tiny FIFO capacities, drain-to-empty wake pruning,
+//! and slot recycling, swept across fault-map × stepping × threads.
 
 use std::collections::HashMap;
 
 use proptest::prelude::*;
+use wsp_common::parallel::Stepping;
 use wsp_noc::{
     Fabric, FabricPacket, NetworkChoice, NocSim, RoutePlanner, SimConfig, TrafficPattern,
 };
 use wsp_topo::{FaultMap, TileArray, TileCoord};
 
-/// Injects one request per sampled healthy pair, skipping disconnected
-/// ones, and returns `(fabric, injected_count, id → dst)`.
+/// Injects one request per sampled healthy pair into `fabric`, skipping
+/// disconnected ones, and returns `(injected_count, id → dst)`.
 fn inject_random_pairs(
-    array: TileArray,
+    fabric: &mut Fabric,
     faults: &FaultMap,
     attempts: usize,
     seed: u64,
-) -> (Fabric, u64, HashMap<u64, TileCoord>) {
+) -> (u64, HashMap<u64, TileCoord>) {
     let planner = RoutePlanner::new(faults.clone());
     let healthy: Vec<TileCoord> = faults.healthy_tiles().collect();
     let mut rng = wsp_common::seeded_rng(seed);
-    let mut fabric = Fabric::new(array, 4);
     let mut injected = 0u64;
     let mut expected = HashMap::new();
     for _ in 0..attempts {
@@ -42,8 +45,16 @@ fn inject_random_pairs(
             expected.insert(id, dst);
         }
     }
-    (fabric, injected, expected)
+    (injected, expected)
 }
+
+/// The observable identity of a delivered packet, for bit-identity
+/// comparisons across executor configurations.
+fn delivery_key(p: &FabricPacket) -> (u64, TileCoord, TileCoord, u64, u32) {
+    (p.id, p.src, p.dst, p.injected_at, p.hops)
+}
+
+const STEPPINGS: [Stepping; 3] = [Stepping::Dense, Stepping::Sparse, Stepping::Wheel];
 
 proptest! {
     /// Every packet accepted by `inject` is either still in flight or
@@ -62,7 +73,8 @@ proptest! {
         if faults.healthy_count() < 2 {
             return Ok(());
         }
-        let (mut fabric, injected, _) = inject_random_pairs(array, &faults, attempts, seed);
+        let mut fabric = Fabric::new(array, 4);
+        let (injected, _) = inject_random_pairs(&mut fabric, &faults, attempts, seed);
 
         let mut delivered = 0u64;
         for _ in 0..3 {
@@ -85,8 +97,8 @@ proptest! {
     ) {
         let array = TileArray::new(cols, rows);
         let faults = FaultMap::none(array);
-        let (mut fabric, injected, mut expected) =
-            inject_random_pairs(array, &faults, attempts, seed);
+        let mut fabric = Fabric::new(array, 4);
+        let (injected, mut expected) = inject_random_pairs(&mut fabric, &faults, attempts, seed);
         let delivered = fabric.drain();
         prop_assert_eq!(delivered.len() as u64, injected);
         for packet in delivered {
@@ -136,5 +148,125 @@ proptest! {
             sim.run(TrafficPattern::HotSpot { target }, 100, &mut rng)
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Every `{stepping, threads}` executor configuration replays the
+    /// dense single-thread reference bit for bit — same deliveries in
+    /// the same order each cycle, same link traversals — at any ring
+    /// capacity (capacity 1 forces wrap-around on every push/pop pair),
+    /// under any fault map, and both drain to an empty arena.
+    #[test]
+    fn executor_axes_replay_the_dense_reference(
+        cols in 2u16..7,
+        rows in 2u16..7,
+        fault_count in 0usize..4,
+        queue_capacity in 1usize..5,
+        attempts in 1usize..48,
+        seed in 0u64..500,
+        stepping_idx in 0usize..3,
+        threads in 1usize..5,
+    ) {
+        let array = TileArray::new(cols, rows);
+        let mut rng = wsp_common::seeded_rng(seed.wrapping_mul(17).wrapping_add(3));
+        let faults = FaultMap::sample_uniform(array, fault_count, &mut rng);
+        if faults.healthy_count() < 2 {
+            return Ok(());
+        }
+
+        let mut reference = Fabric::new(array, queue_capacity);
+        reference.set_stepping(Stepping::Dense);
+        let mut variant = Fabric::new(array, queue_capacity);
+        variant.set_stepping(STEPPINGS[stepping_idx]);
+        variant.set_threads(threads);
+
+        let (injected_ref, _) = inject_random_pairs(&mut reference, &faults, attempts, seed);
+        let (injected_var, _) = inject_random_pairs(&mut variant, &faults, attempts, seed);
+        prop_assert_eq!(injected_ref, injected_var);
+
+        // Lockstep for a few cycles: each tick's delivery batch must
+        // match exactly, order included.
+        let mut batch_ref = Vec::new();
+        let mut batch_var = Vec::new();
+        for _ in 0..4 {
+            reference.tick_into(&mut batch_ref);
+            variant.tick_into(&mut batch_var);
+            let keys_ref: Vec<_> = batch_ref.iter().map(delivery_key).collect();
+            let keys_var: Vec<_> = batch_var.iter().map(delivery_key).collect();
+            prop_assert_eq!(keys_ref, keys_var);
+        }
+
+        let rest_ref: Vec<_> = reference.drain().iter().map(delivery_key).collect();
+        let rest_var: Vec<_> = variant.drain().iter().map(delivery_key).collect();
+        prop_assert_eq!(rest_ref, rest_var);
+        prop_assert_eq!(reference.link_traversals(), variant.link_traversals());
+
+        // Drain-to-empty returns every arena slot on both fabrics.
+        prop_assert_eq!(reference.arena_live(), 0);
+        prop_assert_eq!(variant.arena_live(), 0);
+    }
+
+    /// Repeated identical waves through a drained fabric recycle arena
+    /// slots instead of growing the columns: after the second wave the
+    /// arena footprint is pinned, at every ring capacity and stepping.
+    #[test]
+    fn drained_waves_recycle_arena_slots(
+        queue_capacity in 1usize..4,
+        attempts in 1usize..32,
+        seed in 0u64..500,
+        stepping_idx in 0usize..3,
+    ) {
+        let array = TileArray::new(6, 6);
+        let faults = FaultMap::none(array);
+        let mut fabric = Fabric::new(array, queue_capacity);
+        fabric.set_stepping(STEPPINGS[stepping_idx]);
+
+        let mut footprints = Vec::new();
+        for _ in 0..4 {
+            let (injected, _) = inject_random_pairs(&mut fabric, &faults, attempts, seed);
+            let delivered = fabric.drain();
+            prop_assert_eq!(delivered.len() as u64, injected);
+            prop_assert_eq!(fabric.arena_live(), 0);
+            footprints.push(fabric.arena_slots());
+        }
+        // The first wave may grow the columns while the free list is
+        // empty; identical later waves must fit in recycled slots.
+        prop_assert_eq!(footprints[1], footprints[2]);
+        prop_assert_eq!(footprints[2], footprints[3]);
+    }
+
+    /// A drained fabric is inert: after the wake lists empty out, extra
+    /// ticks deliver nothing and traverse no links, and the fabric still
+    /// accepts and completes a fresh wave afterwards (pruning the wake
+    /// sets must not wedge the executor).
+    #[test]
+    fn drain_to_empty_prunes_wakes_without_wedging(
+        queue_capacity in 1usize..4,
+        attempts in 1usize..32,
+        seed in 0u64..500,
+        stepping_idx in 0usize..3,
+        threads in 1usize..3,
+    ) {
+        let array = TileArray::new(5, 5);
+        let faults = FaultMap::none(array);
+        let mut fabric = Fabric::new(array, queue_capacity);
+        fabric.set_stepping(STEPPINGS[stepping_idx]);
+        fabric.set_threads(threads);
+
+        let (injected, _) = inject_random_pairs(&mut fabric, &faults, attempts, seed);
+        let delivered = fabric.drain().len() as u64;
+        prop_assert_eq!(delivered, injected);
+
+        let traversals = fabric.link_traversals();
+        let mut batch = Vec::new();
+        for _ in 0..5 {
+            fabric.tick_into(&mut batch);
+            prop_assert!(batch.is_empty());
+        }
+        prop_assert_eq!(fabric.link_traversals(), traversals);
+        prop_assert_eq!(fabric.in_flight(), 0);
+
+        let (again, _) = inject_random_pairs(&mut fabric, &faults, attempts, seed ^ 0xabcd);
+        prop_assert_eq!(fabric.drain().len() as u64, again);
+        prop_assert_eq!(fabric.arena_live(), 0);
     }
 }

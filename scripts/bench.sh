@@ -2,8 +2,10 @@
 # Perf-trajectory harness: runs the headline regenerator binaries with
 # machine-readable output and validates every artefact.
 #
-#   ./scripts/bench.sh           # full runs -> BENCH_*.json + TRACE_machine.json
-#   ./scripts/bench.sh --smoke   # seconds-scale reduced runs (the CI gate)
+#   ./scripts/bench.sh             # full runs -> BENCH_*.json + TRACE_machine.json
+#   ./scripts/bench.sh --smoke     # seconds-scale reduced runs (the CI gate)
+#   ./scripts/bench.sh --criterion # also run the arena_vs_vecdeque
+#                                  # micro-bench (criterion, ~1 min)
 #
 # Set WSP_THREADS=<n> to pin the simulation backend's worker count
 # (forwarded as --threads to every binary); the default is the host's
@@ -26,11 +28,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=()
+CRITERION=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=(--smoke) ;;
+        --criterion) CRITERION=1 ;;
         *)
-            echo "usage: $0 [--smoke]" >&2
+            echo "usage: $0 [--smoke] [--criterion]" >&2
             exit 2
             ;;
     esac
@@ -65,5 +69,10 @@ target/release/validate_json \
 # table (the profiler is disabled so the smoke JSON stays deterministic).
 echo "==> phase profile (wsp-diff profile)"
 target/release/wsp-diff profile BENCH_noc.json BENCH_machine.json BENCH_pdn.json
+
+if [[ "$CRITERION" == 1 ]]; then
+    echo "==> criterion: arena_vs_vecdeque (data-layout micro-bench)"
+    cargo bench -p wsp-bench --bench arena_vs_vecdeque
+fi
 
 echo "Bench artefacts written and validated."

@@ -16,6 +16,29 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> perf-shape gate (committed phase profile takes the fused fast path)"
+# The committed full-run BENCH_noc.json pins the *shape* of the fabric
+# hot loop, not its wall-clock (ms gauges stay outside tolerances, as
+# wsp-diff does): the full-wafer section must have executed on the fused
+# single-pass plan+apply path. A `fused.calls` counter must be present,
+# and the split-path `plan.calls` / `apply.calls` counters must not be —
+# their reappearance means single-shard ticks silently fell back to the
+# two-pass split, the exact constant-factor regression the data-oriented
+# rewrite removed.
+if ! grep -q '"wall.profile.fabric.full_wafer.fused.calls"' BENCH_noc.json; then
+    echo "FAIL: BENCH_noc.json lacks wall.profile.fabric.full_wafer.fused.calls" >&2
+    echo "      (full-wafer fabric ticks no longer take the fused fast path)" >&2
+    exit 1
+fi
+for phase in plan apply; do
+    if grep -q "\"wall.profile.fabric.full_wafer.$phase.calls\"" BENCH_noc.json; then
+        echo "FAIL: BENCH_noc.json records wall.profile.fabric.full_wafer.$phase.calls" >&2
+        echo "      (single-shard full-wafer ticks regressed to the two-pass split)" >&2
+        exit 1
+    fi
+done
+echo "    committed full-wafer profile is fused-only"
+
 echo "==> bench smoke (BENCH_*.json present and well-formed)"
 ./scripts/bench.sh --smoke
 
@@ -99,6 +122,7 @@ if target/release/wsp-diff bench --tolerances tests/golden/tolerances.txt \
     exit 1
 fi
 echo "    gate passes on baselines and catches a synthetic regression"
+
 
 echo "==> flag-doc drift gate (every BenchOpts flag is documented in README.md)"
 # The README's "Performance knobs" table must mention every flag string
